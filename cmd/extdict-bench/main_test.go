@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	reg := registry(3, 3)
+	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab2", "tab3"}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown experiment accepted: %v", err)
+	}
+}
+
+func TestRunSingleExperimentSmall(t *testing.T) {
+	// The cheapest artifact at a tiny scale keeps this an actual
+	// end-to-end run of flag parsing, driver, and renderer.
+	if err := run([]string{"-exp", "tab3", "-scale", "0.05", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnersRenderTables(t *testing.T) {
+	cfg := benchConfig{Scale: 0.05, Seed: 9, Workers: 2}
+	reg := registry(2, 2)
+	for _, id := range []string{"fig5", "tab2"} {
+		out, err := reg[id](cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "---") {
+			t.Fatalf("%s rendered no table:\n%s", id, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import "extdict/internal/experiments"
+
+// benchConfig mirrors experiments.Config without exposing the internal type
+// in main's flag plumbing.
+type benchConfig struct {
+	Scale   float64
+	Seed    uint64
+	Workers int
+}
+
+func (c benchConfig) cfg() experiments.Config {
+	return experiments.Config{Scale: c.Scale, Seed: c.Seed, Workers: c.Workers}
+}
+
+// runner executes one experiment and renders its table.
+type runner func(benchConfig) (string, error)
+
+// registry maps experiment ids to drivers.
+func registry(trials, components int) map[string]runner {
+	return map[string]runner{
+		"fig4": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig4(c.cfg(), trials)
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig5": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig5(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig6": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig6(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"tab2": func(c benchConfig) (string, error) {
+			r, err := experiments.Table2(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig7": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig7(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"tab3": func(c benchConfig) (string, error) {
+			r, err := experiments.Table3(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig8": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig8(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig9": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig9(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig10": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig10(c.cfg(), components)
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig11": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig11(c.cfg())
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+		"fig12": func(c benchConfig) (string, error) {
+			r, err := experiments.Fig12(c.cfg(), components)
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		},
+	}
+}

@@ -1,0 +1,261 @@
+// Command extdict exposes the ExtDict framework on the command line:
+// generate synthetic datasets, tune and fit the ExD transform for a target
+// platform, and run the learning algorithms on raw or transformed data.
+//
+// Subcommands:
+//
+//	extdict gen   -preset salinas -out data.edm          # synthesize a dataset
+//	extdict tune  -in data.edm -eps 0.1 -nodes 8 -cores 8
+//	extdict fit   -in data.edm -eps 0.1 -L 200
+//	extdict power -in data.edm -eps 0.1 -k 10 -nodes 2 -cores 8
+//	extdict power -in data.edm -raw -k 10                # untransformed baseline
+//	extdict lasso -in data.edm -y obs.csv -lambda 0.05
+//	extdict cluster -in data.edm -k 3
+//
+// Matrices are CSV (.csv) or the EDM binary format (.edm); columns are
+// signals. Data is column-normalized automatically before transforming.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/mat"
+	"extdict/internal/matio"
+	"extdict/internal/perf"
+	"extdict/internal/rng"
+	"extdict/internal/solver"
+	"extdict/internal/tune"
+)
+
+// Local aliases keep the flag-parsing code terse.
+type perfObjective = perf.Objective
+
+const (
+	perfRuntime = perf.Runtime
+	perfEnergy  = perf.Energy
+	perfMemory  = perf.Memory
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "extdict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: extdict <gen|tune|fit|power|lasso|cluster> [flags] (see -h of each subcommand)")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "tune":
+		return cmdTune(args[1:])
+	case "fit":
+		return cmdFit(args[1:])
+	case "power":
+		return cmdPower(args[1:])
+	case "lasso":
+		return cmdLasso(args[1:])
+	case "cluster":
+		return cmdCluster(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (have gen, tune, fit, power, lasso, cluster)", args[0])
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	preset := fs.String("preset", "salinas", "dataset preset: "+strings.Join(dataset.PresetNames(), ", "))
+	scale := fs.Float64("scale", 1, "column-count multiplier")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output path (.csv or .edm); required")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	p, err := dataset.Preset(*preset, *scale)
+	if err != nil {
+		return err
+	}
+	u, err := dataset.GenerateUnion(p, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	if err := matio.Save(*out, u.A); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %dx%d (%s)\n", *out, u.A.Rows, u.A.Cols, dataset.PresetDescription(*preset))
+	return nil
+}
+
+func platformFlags(fs *flag.FlagSet) (nodes, cores *int) {
+	return fs.Int("nodes", 1, "target platform: number of nodes"),
+		fs.Int("cores", 4, "target platform: cores per node")
+}
+
+func loadNormalized(path string) (*mat.Dense, error) {
+	m, err := matio.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	m.NormalizeColumns()
+	return m, nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	in := fs.String("in", "", "input matrix (.csv or .edm); required")
+	eps := fs.Float64("eps", 0.1, "transformation error tolerance")
+	seed := fs.Uint64("seed", 1, "random seed")
+	objective := fs.String("objective", "runtime", "tuning objective: runtime, energy, or memory")
+	nodes, cores := platformFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("tune: -in is required")
+	}
+	obj, err := parseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	a, err := loadNormalized(*in)
+	if err != nil {
+		return err
+	}
+	plat := cluster.NewPlatform(*nodes, *cores)
+	start := time.Now()
+	res, err := tune.Tune(a, plat, tune.Config{
+		Epsilon: *eps, Objective: obj, Workers: runtime.GOMAXPROCS(0), Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tuned for %s (%s objective) in %v over %d subset rounds %v\n",
+		plat.Topology, obj, time.Since(start).Round(time.Millisecond), res.Rounds, res.SubsetSizes)
+	fmt.Printf("%-7s %-9s %-9s %-9s %-12s %s\n", "L", "alpha", "feasible", "error", "pred-cost", "")
+	for _, c := range res.Candidates {
+		marker := ""
+		if c.L == res.Best.L {
+			marker = "  <= selected"
+		}
+		fmt.Printf("%-7d %-9.3f %-9v %-9.4f %-12.3g%s\n",
+			c.L, c.Alpha, c.Feasible, c.AchievedError, c.Estimate.Cost(obj), marker)
+	}
+	return nil
+}
+
+func parseObjective(s string) (perfObjective, error) {
+	switch strings.ToLower(s) {
+	case "runtime":
+		return perfRuntime, nil
+	case "energy":
+		return perfEnergy, nil
+	case "memory":
+		return perfMemory, nil
+	}
+	return perfRuntime, fmt.Errorf("unknown objective %q", s)
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	in := fs.String("in", "", "input matrix (.csv or .edm); required")
+	eps := fs.Float64("eps", 0.1, "transformation error tolerance")
+	l := fs.Int("L", 0, "dictionary size (0 = tune automatically)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	outD := fs.String("outD", "", "optional path to write the dictionary D")
+	nodes, cores := platformFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("fit: -in is required")
+	}
+	a, err := loadNormalized(*in)
+	if err != nil {
+		return err
+	}
+	plat := cluster.NewPlatform(*nodes, *cores)
+	start := time.Now()
+	var tr *exd.Transform
+	if *l > 0 {
+		tr, err = exd.Fit(a, exd.Params{L: *l, Epsilon: *eps, Workers: runtime.GOMAXPROCS(0), Seed: *seed})
+	} else {
+		tr, _, err = tune.TuneAndFit(a, plat, tune.Config{
+			Epsilon: *eps, Workers: runtime.GOMAXPROCS(0), Seed: *seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("fitted in %v: L=%d nnz(C)=%d alpha=%.3f achieved-error=%.4f memory=%d words (raw %d)\n",
+		elapsed.Round(time.Millisecond), tr.L(), tr.C.NNZ(), tr.Alpha(),
+		tr.RelError(a), tr.MemoryWords(), a.Rows*a.Cols)
+	if *outD != "" {
+		if err := matio.Save(*outD, tr.D); err != nil {
+			return err
+		}
+		fmt.Printf("wrote dictionary to %s\n", *outD)
+	}
+	return nil
+}
+
+func cmdPower(args []string) error {
+	fs := flag.NewFlagSet("power", flag.ContinueOnError)
+	in := fs.String("in", "", "input matrix (.csv or .edm); required")
+	eps := fs.Float64("eps", 0.1, "transformation error tolerance")
+	k := fs.Int("k", 10, "number of eigenvalues")
+	raw := fs.Bool("raw", false, "iterate on the untransformed AᵀA baseline")
+	seed := fs.Uint64("seed", 1, "random seed")
+	nodes, cores := platformFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("power: -in is required")
+	}
+	a, err := loadNormalized(*in)
+	if err != nil {
+		return err
+	}
+	plat := cluster.NewPlatform(*nodes, *cores)
+
+	var op dist.Operator
+	if *raw {
+		op = dist.NewDenseGram(cluster.NewComm(plat), a)
+	} else {
+		tr, _, err := tune.TuneAndFit(a, plat, tune.Config{
+			Epsilon: *eps, Workers: runtime.GOMAXPROCS(0), Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("preprocessed: L=%d alpha=%.3f\n", tr.L(), tr.Alpha())
+		op, err = dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
+		if err != nil {
+			return err
+		}
+	}
+	res := solver.PowerMethod(op, solver.PowerOpts{Components: *k, Seed: *seed})
+	fmt.Printf("%s on %s: %d iterations, modeled time %.3f ms, wall %v\n",
+		op.Name(), plat.Topology, res.Iters,
+		res.Stats.ModeledTime*1e3, res.Stats.Wall.Round(time.Microsecond))
+	for i, v := range res.Eigenvalues {
+		fmt.Printf("lambda[%d] = %.6g\n", i+1, v)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dist"
+	"extdict/internal/mat"
+	"extdict/internal/matio"
+	"extdict/internal/solver"
+	"extdict/internal/tune"
+)
+
+// cmdLasso solves min ‖A·x - y‖² + λ‖x‖₁ on raw, transformed, or SGD
+// operators and reports solution statistics.
+func cmdLasso(args []string) error {
+	fs := flag.NewFlagSet("lasso", flag.ContinueOnError)
+	in := fs.String("in", "", "data matrix (.csv or .edm); required")
+	yPath := fs.String("y", "", "observation vector file (single CSV column); required")
+	lambda := fs.Float64("lambda", 0, "ℓ₁ weight (0 = 0.05·‖Aᵀy‖∞)")
+	eps := fs.Float64("eps", 0.1, "transformation error tolerance")
+	raw := fs.Bool("raw", false, "iterate on the untransformed AᵀA baseline")
+	sgd := fs.Int("sgd", 0, "use the SGD baseline with this batch size")
+	iters := fs.Int("iters", 500, "maximum iterations")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "optional path to write the solution vector")
+	nodes, cores := platformFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *yPath == "" {
+		return fmt.Errorf("lasso: -in and -y are required")
+	}
+	a, err := loadNormalized(*in)
+	if err != nil {
+		return err
+	}
+	y, err := loadVector(*yPath, a.Rows)
+	if err != nil {
+		return err
+	}
+	plat := cluster.NewPlatform(*nodes, *cores)
+
+	op, err := buildOperator(a, plat, *eps, *raw, *sgd, *seed)
+	if err != nil {
+		return err
+	}
+	if *lambda <= 0 {
+		*lambda = 0.05 * mat.NormInf(a.MulVecT(y, nil))
+	}
+	start := time.Now()
+	res := solver.Lasso(op, a.MulVecT(y, nil), mat.Dot(y, y), solver.LassoOpts{
+		Lambda: *lambda, MaxIters: *iters,
+	})
+	nz := 0
+	for _, v := range res.X {
+		if v != 0 {
+			nz++
+		}
+	}
+	fmt.Printf("%s on %s: %d iters (converged=%v), objective %.6g, %d/%d nonzeros\n",
+		op.Name(), plat.Topology, res.Iters, res.Converged, res.Objective, nz, len(res.X))
+	fmt.Printf("modeled time %.3f ms, wall %v\n",
+		res.Stats.ModeledTime*1e3, time.Since(start).Round(time.Microsecond))
+	if *out != "" {
+		xm := mat.NewDenseData(len(res.X), 1, res.X)
+		if err := matio.Save(*out, xm); err != nil {
+			return err
+		}
+		fmt.Printf("wrote solution to %s\n", *out)
+	}
+	return nil
+}
+
+// cmdCluster runs spectral partitioning of the data columns.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	in := fs.String("in", "", "data matrix (.csv or .edm); required")
+	k := fs.Int("k", 2, "number of clusters")
+	eps := fs.Float64("eps", 0.1, "transformation error tolerance")
+	raw := fs.Bool("raw", false, "iterate on the untransformed AᵀA baseline")
+	seed := fs.Uint64("seed", 1, "random seed")
+	nodes, cores := platformFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("cluster: -in is required")
+	}
+	a, err := loadNormalized(*in)
+	if err != nil {
+		return err
+	}
+	plat := cluster.NewPlatform(*nodes, *cores)
+	op, err := buildOperator(a, plat, *eps, *raw, 0, *seed)
+	if err != nil {
+		return err
+	}
+	res := solver.SpectralCluster(op, solver.SpectralOpts{Clusters: *k, Seed: *seed})
+	sizes := make([]int, *k)
+	for _, c := range res.Assign {
+		sizes[c]++
+	}
+	fmt.Printf("%s on %s: %d columns into %d clusters, sizes %v\n",
+		op.Name(), plat.Topology, len(res.Assign), *k, sizes)
+	fmt.Printf("k-means inertia %.4f; %d power iterations, modeled %.3f ms\n",
+		res.Inertia, res.Eigen.Iters, res.Eigen.Stats.ModeledTime*1e3)
+	return nil
+}
+
+// buildOperator assembles the requested Gram operator over a.
+func buildOperator(a *mat.Dense, plat cluster.Platform, eps float64, raw bool, sgdBatch int, seed uint64) (dist.Operator, error) {
+	switch {
+	case raw:
+		return dist.NewDenseGram(cluster.NewComm(plat), a), nil
+	case sgdBatch > 0:
+		return dist.NewBatchGram(cluster.NewComm(plat), a, sgdBatch, seed), nil
+	default:
+		tr, _, err := tune.TuneAndFit(a, plat, tune.Config{
+			Epsilon: eps, Workers: runtime.GOMAXPROCS(0), Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("preprocessed: L=%d alpha=%.3f\n", tr.L(), tr.Alpha())
+		return dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
+	}
+}
+
+// loadVector reads a length-n vector from a matrix file shaped n×1 or 1×n.
+func loadVector(path string, n int) ([]float64, error) {
+	m, err := matio.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case m.Cols == 1 && m.Rows == n:
+		return m.Col(0, nil), nil
+	case m.Rows == 1 && m.Cols == n:
+		return append([]float64(nil), m.Row(0)...), nil
+	default:
+		return nil, fmt.Errorf("vector file %s is %dx%d, want length %d", path, m.Rows, m.Cols, n)
+	}
+}

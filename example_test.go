@@ -1,0 +1,74 @@
+package extdict_test
+
+import (
+	"fmt"
+
+	"extdict"
+)
+
+// ExampleFit demonstrates the core workflow: generate union-of-subspaces
+// data, preprocess it for a platform, and inspect the transform.
+func ExampleFit() {
+	data, _, err := extdict.GenerateUnionOfSubspaces(extdict.UnionOfSubspacesParams{
+		M: 32, N: 512, Ks: []int{3, 4},
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	model, err := extdict.Fit(data, extdict.NewPlatform(1, 4), extdict.Options{
+		Epsilon: 0.1, L: 120, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("L=%d, error within tolerance: %v\n",
+		model.L(), model.RelError(data) <= 0.1)
+	// Output:
+	// L=120, error within tolerance: true
+}
+
+// ExampleModel_GramOperator shows one distributed Gram iteration and its
+// communication accounting.
+func ExampleModel_GramOperator() {
+	data, _, err := extdict.GenerateUnionOfSubspaces(extdict.UnionOfSubspacesParams{
+		M: 40, N: 256, Ks: []int{3},
+	}, 2)
+	if err != nil {
+		panic(err)
+	}
+	model, err := extdict.Fit(data, extdict.NewPlatform(2, 2), extdict.Options{
+		Epsilon: 0.1, L: 24, Seed: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	op, err := model.GramOperator()
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, 256)
+	y := make([]float64, 256)
+	stats := op.Apply(x, y)
+	// Communication is 2·min(M, L) = 2·24 words per iteration.
+	fmt.Printf("critical-path words: %d\n", stats.PathWords)
+	// Output:
+	// critical-path words: 48
+}
+
+// ExampleSolvePCA runs the distributed Power method through the facade.
+func ExampleSolvePCA() {
+	data, _, err := extdict.GenerateUnionOfSubspaces(extdict.UnionOfSubspacesParams{
+		M: 24, N: 128, Ks: []int{2},
+	}, 3)
+	if err != nil {
+		panic(err)
+	}
+	res := extdict.SolvePCA(
+		extdict.DenseGramOperator(data, extdict.NewPlatform(1, 2)),
+		extdict.PCAOptions{Components: 2, Seed: 3},
+	)
+	fmt.Printf("found %d eigenvalues, sorted: %v\n",
+		len(res.Eigenvalues), res.Eigenvalues[0] >= res.Eigenvalues[1])
+	// Output:
+	// found 2 eigenvalues, sorted: true
+}

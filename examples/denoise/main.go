@@ -1,0 +1,88 @@
+// Denoising example: reconstruct a noisy light-field patch with LASSO over
+// a dictionary of clean patches (the paper's first application, §VIII-A),
+// solving on the ExtDict-transformed Gram operator and comparing against
+// the distributed SGD baseline.
+//
+// Run with: go run ./examples/denoise
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"extdict"
+)
+
+func main() {
+	// Synthetic plenoptic capture: 5×5 cameras, 8×8 patches (1600-dim
+	// columns), one held-out patch as the denoising target.
+	lfp := extdict.LightFieldParams{
+		Grid: 5, Patch: 8, NumPatches: 1025, NumSources: 16, SceneSize: 192,
+	}
+	all, err := extdict.GenerateLightField(lfp, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := all.Cols - 1
+	train := all.ColRange(0, n).Clone()
+	clean := all.Col(n, nil)
+	train.NormalizeColumns()
+
+	// Corrupt the held-out patch at 20 dB input SNR (the paper's setting).
+	noisy := extdict.AddNoiseSNR(clean, 20, 22)
+	fmt.Printf("training patches: %d of dim %d; input SNR 20 dB\n", n, train.Rows)
+
+	platform := extdict.NewPlatform(1, 4)
+	model, err := extdict.Fit(train, platform, extdict.Options{Epsilon: 0.1, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ExD: L=%d alpha=%.2f\n", model.L(), model.Alpha())
+
+	op, err := model.GramOperator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lambda := lassoWeight(train, noisy)
+	gd := extdict.SolveLasso(op, train, noisy, extdict.LassoOptions{
+		Lambda: lambda, MaxIters: 600, Tol: 1e-6,
+	})
+	recGD := train.MulVec(gd.X, nil)
+
+	sgd := extdict.SolveLasso(
+		extdict.SGDOperator(train, platform, 64, 24),
+		train, noisy, extdict.LassoOptions{Lambda: lambda, MaxIters: 600, Tol: 1e-30},
+	)
+	recSGD := train.MulVec(sgd.X, nil)
+
+	fmt.Printf("\n%-22s %-10s %-10s %-12s\n", "method", "PSNR(dB)", "iters", "modeled(ms)")
+	fmt.Printf("%-22s %-10.2f %-10s %-12s\n", "noisy input", psnr(clean, noisy), "-", "-")
+	fmt.Printf("%-22s %-10.2f %-10d %-12.2f\n", "ExtDict grad.descent", psnr(clean, recGD), gd.Iters, gd.Stats.ModeledTime*1e3)
+	fmt.Printf("%-22s %-10.2f %-10d %-12.2f\n", "SGD baseline", psnr(clean, recSGD), sgd.Iters, sgd.Stats.ModeledTime*1e3)
+}
+
+// lassoWeight sizes λ relative to the correlation scale of the problem.
+func lassoWeight(a *extdict.Matrix, y []float64) float64 {
+	c := a.MulVecT(y, nil)
+	max := 0.0
+	for _, v := range c {
+		if m := math.Abs(v); m > max {
+			max = m
+		}
+	}
+	return 0.05 * max
+}
+
+func psnr(ref, test []float64) float64 {
+	var mse, peak float64
+	for i, r := range ref {
+		d := r - test[i]
+		mse += d * d
+		if a := math.Abs(r); a > peak {
+			peak = a
+		}
+	}
+	mse /= float64(len(ref))
+	return 10 * math.Log10(peak*peak/mse)
+}

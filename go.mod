@@ -1,0 +1,3 @@
+module extdict
+
+go 1.22

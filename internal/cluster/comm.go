@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Stats summarizes one distributed run: exact operation counts plus the
+// modeled time/energy derived from them through the platform cost model.
+type Stats struct {
+	// FlopsPerRank is the exact flop count each rank reported.
+	FlopsPerRank []int64
+	// TotalFlops is the sum over ranks.
+	TotalFlops int64
+	// MaxFlops is the largest per-rank count — the serial fraction that
+	// bounds compute time (load imbalance shows up here).
+	MaxFlops int64
+	// PathWords counts words on the communication critical path: each
+	// collective contributes its vector length once (pipelined tree), the
+	// quantity the paper's min(M, L) bound refers to.
+	PathWords int64
+	// TotalWords counts every word moved by every rank (drives energy).
+	TotalWords int64
+	// Phases is the number of collective operations executed.
+	Phases int64
+
+	// ModeledTime is the bulk-synchronous time estimate in seconds:
+	// Σ over phases of (slowest rank's compute + path words + latency),
+	// plus the compute tail after the last collective.
+	ModeledTime float64
+	// ModeledEnergy is the energy estimate in joules: every flop plus
+	// every word moved.
+	ModeledEnergy float64
+	// Wall is the measured wall-clock time of the run.
+	Wall time.Duration
+}
+
+// Accumulate folds o into s: counts add, per-rank flops add element-wise
+// (shapes must match or s must be empty). Iterative solvers use this to sum
+// per-iteration statistics into run totals.
+func (s *Stats) Accumulate(o Stats) {
+	if s.FlopsPerRank == nil {
+		s.FlopsPerRank = make([]int64, len(o.FlopsPerRank))
+	}
+	if len(s.FlopsPerRank) != len(o.FlopsPerRank) {
+		panic("cluster: Accumulate rank-count mismatch")
+	}
+	for i, f := range o.FlopsPerRank {
+		s.FlopsPerRank[i] += f
+	}
+	s.TotalFlops += o.TotalFlops
+	// Sequential iterations: critical paths add.
+	s.MaxFlops += o.MaxFlops
+	s.PathWords += o.PathWords
+	s.TotalWords += o.TotalWords
+	s.Phases += o.Phases
+	s.ModeledTime += o.ModeledTime
+	s.ModeledEnergy += o.ModeledEnergy
+	s.Wall += o.Wall
+}
+
+// Comm is one communicator: P ranks sharing a collective rendezvous.
+// Build with NewComm, run a distributed body with Run. A Comm is reusable
+// across Run calls but a single Run must not be entered concurrently.
+type Comm struct {
+	platform Platform
+	p        int
+	speeds   []float64 // per-rank relative flop rates
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	kind    collKind
+	root    int
+	vecLen  int
+
+	contrib [][]float64 // reduce: per-rank staged contributions
+	rootDst []float64   // reduce: root's output buffer
+	src     []float64   // broadcast: root's source buffer
+	dst     [][]float64 // broadcast: per-rank destinations
+
+	// sinceFlops[r] accumulates rank r's flops since the last phase close.
+	sinceFlops []int64
+	totalFlops []int64
+
+	pathWords  int64
+	totalWords int64
+	phases     int64
+	modeled    float64
+}
+
+type collKind uint8
+
+const (
+	collNone collKind = iota
+	collReduce
+	collBroadcast
+	collBarrier
+)
+
+// NewComm returns a communicator for the given platform.
+func NewComm(p Platform) *Comm {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Comm{
+		platform:   p,
+		p:          p.Topology.P(),
+		speeds:     p.RankSpeeds(),
+		contrib:    make([][]float64, p.Topology.P()),
+		dst:        make([][]float64, p.Topology.P()),
+		sinceFlops: make([]int64, p.Topology.P()),
+		totalFlops: make([]int64, p.Topology.P()),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// P returns the number of ranks.
+func (c *Comm) P() int { return c.p }
+
+// Platform returns the platform this communicator models.
+func (c *Comm) Platform() Platform { return c.platform }
+
+// Run executes body once per rank, concurrently, and returns the collected
+// statistics. Statistics reset on each Run.
+func (c *Comm) Run(body func(r *Rank)) Stats {
+	c.reset()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < c.p; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(&Rank{ID: id, c: c})
+		}(id)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Compute tail after the last collective.
+	var tail float64
+	for i, f := range c.sinceFlops {
+		if t := float64(f) / c.speeds[i]; t > tail {
+			tail = t
+		}
+	}
+	c.modeled += tail * c.platform.Cost.FlopTime
+
+	st := Stats{
+		FlopsPerRank: append([]int64(nil), c.totalFlops...),
+		PathWords:    c.pathWords,
+		TotalWords:   c.totalWords,
+		Phases:       c.phases,
+		ModeledTime:  c.modeled,
+		Wall:         wall,
+	}
+	for _, f := range c.totalFlops {
+		st.TotalFlops += f
+		if f > st.MaxFlops {
+			st.MaxFlops = f
+		}
+	}
+	st.ModeledEnergy = float64(st.TotalFlops)*c.platform.Cost.FlopEnergy +
+		float64(c.totalWords)*c.platform.WordEnergy()
+	return st
+}
+
+func (c *Comm) reset() {
+	c.arrived, c.gen = 0, 0
+	c.kind, c.root, c.vecLen = collNone, 0, 0
+	c.rootDst, c.src = nil, nil
+	for i := range c.dst {
+		c.dst[i] = nil
+		c.contrib[i] = nil
+	}
+	for i := range c.sinceFlops {
+		c.sinceFlops[i] = 0
+		c.totalFlops[i] = 0
+	}
+	c.pathWords, c.totalWords, c.phases = 0, 0, 0
+	c.modeled = 0
+}
+
+// closePhase charges the bulk-synchronous cost of the completed phase: the
+// slowest rank's accumulated compute (scaled by its node's speed on
+// heterogeneous platforms), the critical-path word cost of the collective,
+// and the reduction-tree latency. Callers hold c.mu.
+func (c *Comm) closePhase(vecLen int) {
+	var maxT float64
+	for i, f := range c.sinceFlops {
+		if t := float64(f) / c.speeds[i]; t > maxT {
+			maxT = t
+		}
+		c.sinceFlops[i] = 0
+	}
+	hops := 1.0
+	if c.p > 1 {
+		hops = math.Ceil(math.Log2(float64(c.p)))
+	}
+	c.modeled += maxT*c.platform.Cost.FlopTime +
+		float64(vecLen)*c.platform.WordTime() +
+		hops*c.platform.Latency()
+	c.pathWords += int64(vecLen)
+	// Every non-root rank moves vecLen words in a reduce or broadcast.
+	c.totalWords += int64(vecLen) * int64(c.p-1)
+	c.phases++
+}
+
+// Rank is one logical processor's handle inside a Run body.
+type Rank struct {
+	// ID is the processor id ("pid" in the paper's algorithms), 0-based.
+	ID int
+	c  *Comm
+}
+
+// P returns the total number of ranks in the communicator.
+func (r *Rank) P() int { return r.c.p }
+
+// Node returns the node this rank lives on (ranks are node-major).
+func (r *Rank) Node() int { return r.ID / r.c.platform.Topology.CoresPerNode }
+
+// AddFlops reports n floating point operations executed by this rank since
+// its previous report. It is the instrumentation hook the distributed
+// kernels call; counts feed both the phase accounting and Stats.
+//
+// Each rank touches only its own counters between collectives, and the
+// collective rendezvous reads them under the communicator lock after every
+// rank has arrived, so the fast path needs no synchronization.
+func (r *Rank) AddFlops(n int64) {
+	if n < 0 {
+		panic("cluster: negative flop count")
+	}
+	r.c.sinceFlops[r.ID] += n
+	r.c.totalFlops[r.ID] += n
+}
+
+// collective is the shared rendezvous: stage runs under the lock when the
+// rank arrives; finalize runs under the lock exactly once after all P ranks
+// have staged; every rank returns only after finalize completed. All copies
+// into rank-owned buffers happen inside finalize, before anyone resumes, so
+// no rank can observe another phase's data.
+func (r *Rank) collective(kind collKind, root, vecLen int, stage, finalize func()) {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.arrived == 0 {
+		c.kind, c.root, c.vecLen = kind, root, vecLen
+	} else if c.kind != kind || c.root != root || c.vecLen != vecLen {
+		panic("cluster: mismatched collective operations across ranks")
+	}
+	if stage != nil {
+		stage()
+	}
+	c.arrived++
+	if c.arrived == c.p {
+		finalize()
+		c.closePhase(vecLen)
+		c.arrived = 0
+		c.kind = collNone
+		c.gen++
+		c.cond.Broadcast()
+		return
+	}
+	gen := c.gen
+	for c.gen == gen {
+		c.cond.Wait()
+	}
+}
+
+// Reduce element-wise sums vec across all ranks. After the call the root
+// rank's vec holds the sum; other ranks' buffers are unchanged. All ranks
+// must pass slices of equal length (paper Algorithm 2 steps 3-4).
+func (r *Rank) Reduce(vec []float64, root int) {
+	c := r.c
+	r.collective(collReduce, root, len(vec), func() {
+		c.contrib[r.ID] = vec
+		if r.ID == root {
+			c.rootDst = vec
+		}
+	}, func() {
+		// Sum in rank order so results are bitwise deterministic across
+		// runs regardless of goroutine arrival order.
+		sum := make([]float64, c.vecLen)
+		for id := 0; id < c.p; id++ {
+			for i, v := range c.contrib[id] {
+				sum[i] += v
+			}
+			c.contrib[id] = nil
+		}
+		copy(c.rootDst, sum)
+		c.rootDst = nil
+	})
+}
+
+// Broadcast copies the root rank's vec into every other rank's vec
+// (Algorithm 2 step 6). All ranks must pass slices of equal length.
+func (r *Rank) Broadcast(vec []float64, root int) {
+	c := r.c
+	r.collective(collBroadcast, root, len(vec), func() {
+		if r.ID == root {
+			c.src = vec
+		} else {
+			c.dst[r.ID] = vec
+		}
+	}, func() {
+		for i, d := range c.dst {
+			if d != nil {
+				copy(d, c.src)
+				c.dst[i] = nil
+			}
+		}
+		c.src = nil
+	})
+}
+
+// Allreduce sums vec across ranks and leaves the sum in every rank's vec.
+// It is implemented, and charged, as Reduce-to-0 followed by Broadcast-from-0
+// — the exact two phases Algorithm 2 executes.
+func (r *Rank) Allreduce(vec []float64) {
+	r.Reduce(vec, 0)
+	r.Broadcast(vec, 0)
+}
+
+// Barrier synchronizes all ranks and closes the current compute phase
+// without moving data.
+func (r *Rank) Barrier() {
+	r.collective(collBarrier, 0, 0, nil, func() {})
+}

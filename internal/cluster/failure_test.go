@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// These tests exercise misuse and edge paths of the communicator: mismatched
+// collectives, panicking rank bodies, and degenerate vector lengths.
+
+func TestMismatchedCollectivePanics(t *testing.T) {
+	c := NewComm(NewPlatform(1, 2))
+	panics := make(chan interface{}, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Drive ranks manually so one calls Reduce while the other Broadcasts.
+	go func() {
+		defer wg.Done()
+		defer func() { panics <- recover() }()
+		r := &Rank{ID: 0, c: c}
+		r.Reduce([]float64{1}, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		defer func() { panics <- recover() }()
+		r := &Rank{ID: 1, c: c}
+		r.Broadcast([]float64{1}, 0)
+	}()
+	// One of the two must panic about the mismatch; unblock the other by
+	// draining at least one panic and then bailing out.
+	p := <-panics
+	if p == nil {
+		t.Fatal("mismatched collectives did not panic")
+	}
+	// The other goroutine is now stuck waiting for a partner that died;
+	// that is expected (real MPI deadlocks too). Leak it deliberately —
+	// its Comm is garbage after the test.
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	c := NewComm(NewPlatform(1, 2))
+	panics := make(chan interface{}, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for id := 0; id < 2; id++ {
+		go func(id int) {
+			defer wg.Done()
+			defer func() { panics <- recover() }()
+			r := &Rank{ID: id, c: c}
+			r.Reduce(make([]float64, 1+id), 0) // different lengths
+		}(id)
+	}
+	if p := <-panics; p == nil {
+		t.Fatal("length mismatch did not panic")
+	}
+}
+
+func TestNegativeFlopsPanics(t *testing.T) {
+	c := NewComm(NewPlatform(1, 1))
+	panicked := false
+	c.Run(func(r *Rank) {
+		// The rank body runs on its own goroutine; recover there.
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.AddFlops(-1)
+	})
+	if !panicked {
+		t.Fatal("negative flop count did not panic")
+	}
+}
+
+func TestEmptyVectorCollective(t *testing.T) {
+	c := NewComm(NewPlatform(1, 3))
+	st := c.Run(func(r *Rank) {
+		r.Allreduce(nil) // zero-length reduce must be a safe no-op
+	})
+	if st.PathWords != 0 || st.Phases != 2 {
+		t.Fatalf("empty allreduce: %+v", st)
+	}
+}
+
+func TestInvalidTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid topology did not panic")
+		}
+	}()
+	NewComm(Platform{Topology: Topology{Nodes: 0, CoresPerNode: 1}})
+}
+
+func TestAccumulateMismatchPanics(t *testing.T) {
+	a := Stats{FlopsPerRank: []int64{1, 2}}
+	b := Stats{FlopsPerRank: []int64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank-count mismatch did not panic")
+		}
+	}()
+	a.Accumulate(b)
+}
+
+func TestAccumulateFromZero(t *testing.T) {
+	var acc Stats
+	acc.Accumulate(Stats{FlopsPerRank: []int64{3, 4}, TotalFlops: 7, MaxFlops: 4, Phases: 1})
+	acc.Accumulate(Stats{FlopsPerRank: []int64{1, 1}, TotalFlops: 2, MaxFlops: 1, Phases: 1})
+	if acc.TotalFlops != 9 || acc.MaxFlops != 5 || acc.Phases != 2 {
+		t.Fatalf("accumulated %+v", acc)
+	}
+	if acc.FlopsPerRank[0] != 4 || acc.FlopsPerRank[1] != 5 {
+		t.Fatalf("per-rank %v", acc.FlopsPerRank)
+	}
+}

@@ -1,0 +1,276 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    UnionParams
+		ok   bool
+	}{
+		{"good", UnionParams{M: 10, N: 20, Ks: []int{2, 3}}, true},
+		{"zero M", UnionParams{M: 0, N: 20, Ks: []int{2}}, false},
+		{"no subspaces", UnionParams{M: 10, N: 20}, false},
+		{"subspace too big", UnionParams{M: 4, N: 20, Ks: []int{5}}, false},
+		{"bad weights", UnionParams{M: 10, N: 20, Ks: []int{2}, Weights: []float64{1, 2}}, false},
+		{"bad outliers", UnionParams{M: 10, N: 20, Ks: []int{2}, OutlierFrac: 1.5}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestGenerateUnionShape(t *testing.T) {
+	p := UnionParams{M: 20, N: 100, Ks: []int{3, 4}}
+	u, err := GenerateUnion(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.A.Rows != 20 || u.A.Cols != 100 {
+		t.Fatalf("shape %dx%d", u.A.Rows, u.A.Cols)
+	}
+	if len(u.Membership) != 100 || len(u.Bases) != 2 {
+		t.Fatal("metadata wrong size")
+	}
+}
+
+func TestGenerateUnionColumnsNormalized(t *testing.T) {
+	p := UnionParams{M: 16, N: 50, Ks: []int{3}, NoiseSigma: 0.01}
+	u, err := GenerateUnion(p, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < u.A.Cols; j++ {
+		n := mat.Norm2(u.A.Col(j, nil))
+		if math.Abs(n-1) > 1e-10 {
+			t.Fatalf("column %d has norm %v", j, n)
+		}
+	}
+}
+
+func TestGenerateUnionDeterministic(t *testing.T) {
+	p := UnionParams{M: 12, N: 30, Ks: []int{2, 2}, NoiseSigma: 0.05, OutlierFrac: 0.1}
+	u1, _ := GenerateUnion(p, rng.New(77))
+	u2, _ := GenerateUnion(p, rng.New(77))
+	if !mat.Equal(u1.A, u2.A, 0) {
+		t.Fatal("same seed produced different data")
+	}
+}
+
+func TestGenerateUnionMembershipConsistent(t *testing.T) {
+	// Noise-free columns must lie exactly in their assigned subspace:
+	// the residual after projecting onto the basis is ~0.
+	p := UnionParams{M: 24, N: 60, Ks: []int{3, 5}}
+	u, err := GenerateUnion(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]float64, p.M)
+	for j := 0; j < p.N; j++ {
+		s := u.Membership[j]
+		if s < 0 {
+			continue
+		}
+		u.A.Col(j, col)
+		// residual = col - B·(Bᵀ·col); B orthonormal.
+		b := u.Bases[s]
+		proj := b.MulVec(b.MulVecT(col, nil), nil)
+		res := make([]float64, p.M)
+		mat.SubVec(res, col, proj)
+		if mat.Norm2(res) > 1e-8 {
+			t.Fatalf("column %d leaves its subspace by %v", j, mat.Norm2(res))
+		}
+	}
+}
+
+func TestGenerateUnionOutliers(t *testing.T) {
+	p := UnionParams{M: 10, N: 400, Ks: []int{2}, OutlierFrac: 0.25}
+	u, err := GenerateUnion(p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outliers := 0
+	for _, m := range u.Membership {
+		if m == -1 {
+			outliers++
+		}
+	}
+	frac := float64(outliers) / float64(p.N)
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("outlier fraction %v far from 0.25", frac)
+	}
+}
+
+func TestGenerateUnionWeights(t *testing.T) {
+	p := UnionParams{M: 10, N: 1000, Ks: []int{2, 2}, Weights: []float64{9, 1}}
+	u, err := GenerateUnion(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count0 := 0
+	for _, m := range u.Membership {
+		if m == 0 {
+			count0++
+		}
+	}
+	if count0 < 800 || count0 > 980 {
+		t.Fatalf("subspace 0 population %d, want ~900", count0)
+	}
+}
+
+func TestOrthonormalBases(t *testing.T) {
+	r := rng.New(6)
+	b := randomOrthonormal(r, 15, 6)
+	g := mat.ATA(b)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-10 {
+				t.Fatalf("BᵀB(%d,%d) = %v", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	p := UnionParams{M: 8, N: 40, Ks: []int{2}}
+	u, _ := GenerateUnion(p, rng.New(7))
+	cols := []int{0, 5, 39}
+	s := u.Subset(cols)
+	if s.A.Cols != 3 || s.Params.N != 3 {
+		t.Fatal("subset shape wrong")
+	}
+	for i, c := range cols {
+		if s.Membership[i] != u.Membership[c] {
+			t.Fatal("membership not carried over")
+		}
+		for row := 0; row < p.M; row++ {
+			if s.A.At(row, i) != u.A.At(row, c) {
+				t.Fatal("column data not carried over")
+			}
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 3 {
+		t.Fatalf("expected 3 presets, got %v", names)
+	}
+	for _, n := range names {
+		p, err := Preset(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", n, err)
+		}
+		if PresetDescription(n) == "" {
+			t.Fatalf("preset %s lacks a description", n)
+		}
+	}
+	if _, err := Preset("nope", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	small, _ := Preset("salinas", 0.1)
+	full, _ := Preset("salinas", 1)
+	if small.N >= full.N {
+		t.Fatal("scaling did not shrink N")
+	}
+}
+
+func TestGenerateLightFieldShape(t *testing.T) {
+	p := LightFieldParams{Grid: 3, Patch: 4, NumPatches: 20, NumSources: 5, SceneSize: 64}
+	lf, err := GenerateLightField(p, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.A.Rows != 4*4*3*3 || lf.A.Cols != 20 {
+		t.Fatalf("shape %dx%d", lf.A.Rows, lf.A.Cols)
+	}
+}
+
+func TestGenerateLightFieldRejectsBadParams(t *testing.T) {
+	if _, err := GenerateLightField(LightFieldParams{}, rng.New(1)); err == nil {
+		t.Fatal("accepted zero params")
+	}
+	p := LightFieldParams{Grid: 3, Patch: 16, NumPatches: 5, NumSources: 2, SceneSize: 20}
+	if _, err := GenerateLightField(p, rng.New(1)); err == nil {
+		t.Fatal("accepted tiny scene")
+	}
+}
+
+func TestCameraSubsetRows(t *testing.T) {
+	p := LightFieldParams{Grid: 5, Patch: 2, NumPatches: 4, NumSources: 3, SceneSize: 64}
+	lf, err := GenerateLightField(p, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := lf.CameraSubsetRows(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*3*2*2 {
+		t.Fatalf("subset has %d rows", len(rows))
+	}
+	// Full subset must be the identity selection.
+	all, _ := lf.CameraSubsetRows(5)
+	if len(all) != lf.A.Rows {
+		t.Fatal("full subset incomplete")
+	}
+	for i, r := range all {
+		if r != i {
+			t.Fatal("full subset not identity")
+		}
+	}
+	if _, err := lf.CameraSubsetRows(6); err == nil {
+		t.Fatal("oversized subset accepted")
+	}
+}
+
+func TestLightFieldViewCoherence(t *testing.T) {
+	// Adjacent camera views of the same patch must be highly correlated —
+	// that is the structure the super-resolution experiment relies on.
+	p := LightFieldParams{Grid: 3, Patch: 8, NumPatches: 30, NumSources: 8, SceneSize: 128}
+	lf, err := GenerateLightField(p, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := p.Patch * p.Patch
+	col := make([]float64, lf.A.Rows)
+	for j := 0; j < 10; j++ {
+		lf.A.Col(j, col)
+		v0 := col[0:per]       // camera (0,0)
+		v1 := col[per : 2*per] // camera (0,1)
+		c := mat.Dot(v0, v1) / (mat.Norm2(v0)*mat.Norm2(v1) + 1e-12)
+		if c < 0.5 {
+			t.Fatalf("patch %d views nearly uncorrelated: %v", j, c)
+		}
+	}
+}
+
+func TestAddNoiseSNR(t *testing.T) {
+	r := rng.New(11)
+	v := make([]float64, 5000)
+	for i := range v {
+		v[i] = r.NormFloat64() * 3
+	}
+	noisy := AddNoise(v, 20, r)
+	diff := make([]float64, len(v))
+	mat.SubVec(diff, noisy, v)
+	snr := 10 * math.Log10(mat.Dot(v, v)/mat.Dot(diff, diff))
+	if math.Abs(snr-20) > 1 {
+		t.Fatalf("achieved SNR %v dB, want ~20", snr)
+	}
+}

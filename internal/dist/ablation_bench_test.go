@@ -1,0 +1,94 @@
+package dist
+
+// Ablation: Algorithm 2's two schedules around the L ≈ M boundary. Case 1
+// centralizes the dictionary work on rank 0 and ships 2·L words; Case 2
+// replicates the dictionary, pays redundant flops, and ships 2·M words. The
+// paper switches at L = M; these benchmarks measure both sides of the
+// boundary so the crossover is visible in the modeled time.
+
+import (
+	"fmt"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/exd"
+	"extdict/internal/rng"
+)
+
+func BenchmarkAblationCaseBoundary(b *testing.B) {
+	u, err := dataset.GenerateUnion(
+		dataset.UnionParams{M: 128, N: 4096, Ks: []int{4, 5, 6}}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := cluster.NewPlatform(2, 8)
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, 4096)
+
+	for _, l := range []int{64, 120, 136, 256} { // below, at, just above, far above M
+		tr, err := exd.Fit(u.A, exd.Params{L: l, Epsilon: 0.05, Seed: 2, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("L=%d/case=%d", l, map[bool]int{false: 1, true: 2}[g.CaseTwo()])
+		b.Run(name, func(b *testing.B) {
+			var modeled float64
+			var words int64
+			for i := 0; i < b.N; i++ {
+				st := g.Apply(x, y)
+				modeled = st.ModeledTime
+				words = st.PathWords
+			}
+			b.ReportMetric(modeled*1e6, "modeled-µs")
+			b.ReportMetric(float64(words), "path-words")
+		})
+	}
+}
+
+// BenchmarkAblationHeterogeneous quantifies load balancing on a skewed
+// cluster: one node runs 4× slower than the other three. The speed-weighted
+// partition keeps every rank's phase time equal; the even split leaves the
+// slow node on the critical path.
+func BenchmarkAblationHeterogeneous(b *testing.B) {
+	u, err := dataset.GenerateUnion(
+		dataset.UnionParams{M: 64, N: 8192, Ks: []int{3, 4}}, rng.New(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 8192)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, 8192)
+
+	skew := cluster.NewPlatform(4, 1)
+	skew.Cost.NodeSpeed = []float64{0.25, 1, 1, 1}
+
+	b.Run("balanced", func(b *testing.B) {
+		g := NewDenseGram(cluster.NewComm(skew), u.A)
+		var modeled float64
+		for i := 0; i < b.N; i++ {
+			modeled = g.Apply(x, y).ModeledTime
+		}
+		b.ReportMetric(modeled*1e6, "modeled-µs")
+	})
+	b.Run("even-split-penalty", func(b *testing.B) {
+		// The even split's modeled time: rank 0's quarter share at 1/4
+		// speed dominates each phase.
+		uniform := NewDenseGram(cluster.NewComm(cluster.NewPlatform(4, 1)), u.A)
+		var penalty float64
+		for i := 0; i < b.N; i++ {
+			st := uniform.Apply(x, y)
+			penalty = st.ModeledTime + 3*float64(st.MaxFlops)*skew.Cost.FlopTime
+		}
+		b.ReportMetric(penalty*1e6, "modeled-µs")
+	})
+}

@@ -1,0 +1,249 @@
+// Package dist implements the paper's distributed computing model
+// (Algorithm 2): iterative Gram-matrix products executed across the ranks of
+// a simulated cluster, with the exact data partitioning, replication, and
+// reduce/broadcast schedule the paper proves communication-optimal.
+//
+// All operators expose the same Gram product y = AᵀA·x (or its transformed
+// equivalent (DC)ᵀDC·x), so the learning algorithms in the solver package
+// are agnostic to which representation — raw data, ExD, or any baseline
+// projection — backs the iteration. That interchangeability is the
+// framework's central claim.
+package dist
+
+import (
+	"fmt"
+
+	"extdict/internal/cluster"
+	"extdict/internal/mat"
+	"extdict/internal/sparse"
+)
+
+// Operator applies one distributed Gram-matrix product.
+type Operator interface {
+	// Dim returns the dimension N of the operator (columns of A).
+	Dim() int
+	// Apply computes y = G·x as one distributed iteration and returns the
+	// iteration's statistics. x and y must have length Dim; y is
+	// overwritten. Implementations must tolerate x aliasing y being false
+	// (never alias them).
+	Apply(x, y []float64) cluster.Stats
+	// Name identifies the operator for reports.
+	Name() string
+}
+
+// BlockRange returns the half-open column range [lo, hi) that rank i of p
+// owns under the paper's iN/P partitioning.
+func BlockRange(n, p, i int) (lo, hi int) {
+	return i * n / p, (i + 1) * n / p
+}
+
+// WeightedBlockRanges partitions [0, n) into len(weights) contiguous ranges
+// whose sizes are proportional to the weights — the load-balanced mapping
+// for heterogeneous platforms where ranks differ in flop rate. With uniform
+// weights it reduces exactly to BlockRange.
+func WeightedBlockRanges(n int, weights []float64) [][2]int {
+	p := len(weights)
+	out := make([][2]int, p)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	acc := 0.0
+	prev := 0
+	for i, w := range weights {
+		acc += w
+		hi := int(acc / total * float64(n))
+		if i == p-1 {
+			hi = n
+		}
+		if hi < prev {
+			hi = prev
+		}
+		out[i] = [2]int{prev, hi}
+		prev = hi
+	}
+	return out
+}
+
+// rangesFor partitions n columns across the communicator's ranks,
+// load-balanced by rank speed on heterogeneous platforms.
+func rangesFor(comm *cluster.Comm, n int) [][2]int {
+	return WeightedBlockRanges(n, comm.Platform().RankSpeeds())
+}
+
+// DenseGram is the untransformed baseline: y = AᵀA·x with A partitioned by
+// columns across ranks. Each iteration computes v_i = A_i·x_i locally,
+// allreduces the M-vector v = Σv_i, then computes y_i = A_iᵀ·v — moving
+// min-communication M words on the critical path.
+type DenseGram struct {
+	comm   *cluster.Comm
+	blocks []*mat.Dense // per-rank column blocks of A
+	ranges [][2]int     // per-rank column ranges (speed-weighted)
+	n, m   int
+}
+
+// NewDenseGram partitions a (M×N) across the communicator's ranks.
+func NewDenseGram(comm *cluster.Comm, a *mat.Dense) *DenseGram {
+	p := comm.P()
+	g := &DenseGram{
+		comm: comm, n: a.Cols, m: a.Rows,
+		blocks: make([]*mat.Dense, p),
+		ranges: rangesFor(comm, a.Cols),
+	}
+	for i := 0; i < p; i++ {
+		g.blocks[i] = a.ColRange(g.ranges[i][0], g.ranges[i][1])
+	}
+	return g
+}
+
+// Dim implements Operator.
+func (g *DenseGram) Dim() int { return g.n }
+
+// Name implements Operator.
+func (g *DenseGram) Name() string { return "AᵀA" }
+
+// Apply implements Operator.
+func (g *DenseGram) Apply(x, y []float64) cluster.Stats {
+	if len(x) != g.n || len(y) != g.n {
+		panic("dist: DenseGram.Apply length mismatch")
+	}
+	return g.comm.Run(func(r *cluster.Rank) {
+		lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
+		blk := g.blocks[r.ID]
+
+		// v_i = A_i·x_i  (2·M·n_i flops: multiply + add per entry).
+		v := blk.MulVec(x[lo:hi], nil)
+		r.AddFlops(2 * int64(g.m) * int64(hi-lo))
+
+		// v = Σ v_i across ranks; everyone needs it for step 2.
+		r.Allreduce(v)
+
+		// y_i = A_iᵀ·v.
+		blk.MulVecT(v, y[lo:hi])
+		r.AddFlops(2 * int64(g.m) * int64(hi-lo))
+	})
+}
+
+// ExDGram executes Algorithm 2 on a transformed pair (D, C):
+// y = Cᵀ·Dᵀ·D·C·x. The schedule depends on the regime:
+//
+//   - Case 1 (L ≤ M): D is stored only on rank 0. Ranks reduce the
+//     L-vector v¹ = Σ C_i·x_i to rank 0, which computes v³ = Dᵀ(D·v¹)
+//     alone and broadcasts the L-vector back; ranks finish with C_iᵀ·v³.
+//     Critical-path words: 2·L.
+//
+//   - Case 2 (L > M): D is replicated on every rank. Ranks compute
+//     v² = D·(C_i·x_i) locally, reduce the M-vector to rank 0, get the
+//     M-vector back, and redundantly compute C_iᵀ·(Dᵀ·v). Critical-path
+//     words: 2·M.
+//
+// Either way the communicated volume is 2·min(M, L) per iteration — the
+// paper's optimal bound (§VI-B).
+type ExDGram struct {
+	comm   *cluster.Comm
+	d      *mat.Dense
+	blocks []*sparse.CSC // per-rank column blocks of C
+	ranges [][2]int      // per-rank column ranges (speed-weighted)
+	nnz    []int64       // per-rank nnz
+	n      int
+	l, m   int
+	name   string
+}
+
+// NewExDGram partitions C by columns and places D according to the case.
+func NewExDGram(comm *cluster.Comm, d *mat.Dense, c *sparse.CSC) (*ExDGram, error) {
+	return NewTransformedGram(comm, d, c, "ExD")
+}
+
+// NewTransformedGram builds the Algorithm 2 operator for any projection
+// A ≈ D·C (ExD or a baseline transform), labeled for reports.
+func NewTransformedGram(comm *cluster.Comm, d *mat.Dense, c *sparse.CSC, name string) (*ExDGram, error) {
+	if d.Cols != c.Rows {
+		return nil, fmt.Errorf("dist: D is %dx%d but C has %d rows", d.Rows, d.Cols, c.Rows)
+	}
+	p := comm.P()
+	g := &ExDGram{
+		comm: comm, d: d, n: c.Cols, l: d.Cols, m: d.Rows,
+		blocks: make([]*sparse.CSC, p),
+		ranges: rangesFor(comm, c.Cols),
+		nnz:    make([]int64, p),
+		name:   name,
+	}
+	for i := 0; i < p; i++ {
+		g.blocks[i] = c.ColSliceRange(g.ranges[i][0], g.ranges[i][1])
+		g.nnz[i] = int64(g.blocks[i].NNZ())
+	}
+	return g, nil
+}
+
+// Dim implements Operator.
+func (g *ExDGram) Dim() int { return g.n }
+
+// Name implements Operator.
+func (g *ExDGram) Name() string { return g.name }
+
+// CaseTwo reports whether the replicated-dictionary schedule is in use.
+func (g *ExDGram) CaseTwo() bool { return g.l > g.m }
+
+// Apply implements Operator.
+func (g *ExDGram) Apply(x, y []float64) cluster.Stats {
+	if len(x) != g.n || len(y) != g.n {
+		panic("dist: ExDGram.Apply length mismatch")
+	}
+	if g.CaseTwo() {
+		return g.comm.Run(func(r *cluster.Rank) { g.applyCase2(r, x, y) })
+	}
+	return g.comm.Run(func(r *cluster.Rank) { g.applyCase1(r, x, y) })
+}
+
+// applyCase1 is Algorithm 2, Case 1 (L ≤ M): D lives on rank 0 only.
+func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
+	lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
+	blk := g.blocks[r.ID]
+
+	// Step 1: v¹_i = C_i·x_i (sparse: 2·nnz_i flops).
+	v1 := blk.MulVec(x[lo:hi], nil)
+	r.AddFlops(2 * g.nnz[r.ID])
+
+	// Steps 3-4: reduce v¹ to rank 0 (L words on the path).
+	r.Reduce(v1, 0)
+
+	v3 := v1
+	if r.ID == 0 {
+		// Steps 4-5 on rank 0 only: v² = D·v¹ then v³ = Dᵀ·v².
+		v2 := g.d.MulVec(v1, nil)
+		g.d.MulVecT(v2, v3)
+		r.AddFlops(2 * 2 * int64(g.m) * int64(g.l))
+	}
+
+	// Step 6: broadcast v³ (L words).
+	r.Broadcast(v3, 0)
+
+	// Step 7: y_i = C_iᵀ·v³.
+	blk.MulVecT(v3, y[lo:hi])
+	r.AddFlops(2 * g.nnz[r.ID])
+}
+
+// applyCase2 is Algorithm 2, Case 2 (L > M): D replicated everywhere.
+func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
+	lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
+	blk := g.blocks[r.ID]
+
+	// Step 1: v¹_i = C_i·x_i.
+	v1 := blk.MulVec(x[lo:hi], nil)
+	r.AddFlops(2 * g.nnz[r.ID])
+
+	// Step 3: v²_i = D·v¹_i locally (the replication saves words later).
+	v2 := g.d.MulVec(v1, nil)
+	r.AddFlops(2 * int64(g.m) * int64(g.l))
+
+	// Steps 4-6: v = Σ v²_i, everywhere (M words each way).
+	r.Allreduce(v2)
+
+	// Step 7: y_i = C_iᵀ·(Dᵀ·v) — the Dᵀ·v multiply is redundant on every
+	// rank; that is the price Case 2 pays to keep communication at M.
+	w := g.d.MulVecT(v2, nil)
+	r.AddFlops(2 * int64(g.m) * int64(g.l))
+	blk.MulVecT(w, y[lo:hi])
+	r.AddFlops(2 * g.nnz[r.ID])
+}

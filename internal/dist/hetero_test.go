@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/rng"
+)
+
+func heteroPlatform(speeds ...float64) cluster.Platform {
+	p := cluster.NewPlatform(len(speeds), 1)
+	p.Cost.NodeSpeed = speeds
+	return p
+}
+
+func TestWeightedBlockRangesProperties(t *testing.T) {
+	cases := []struct {
+		n       int
+		weights []float64
+	}{
+		{100, []float64{1, 1, 1, 1}},
+		{100, []float64{3, 1}},
+		{7, []float64{1, 2, 4}},
+		{5, []float64{10, 0.1, 0.1}},
+		{0, []float64{1, 1}},
+	}
+	for _, c := range cases {
+		ranges := WeightedBlockRanges(c.n, c.weights)
+		prev := 0
+		for i, rg := range ranges {
+			if rg[0] != prev || rg[1] < rg[0] {
+				t.Fatalf("n=%d w=%v: range %d = %v after %d", c.n, c.weights, i, rg, prev)
+			}
+			prev = rg[1]
+		}
+		if prev != c.n {
+			t.Fatalf("n=%d w=%v: coverage ends at %d", c.n, c.weights, prev)
+		}
+	}
+	// Uniform weights must reduce exactly to BlockRange.
+	ranges := WeightedBlockRanges(97, []float64{1, 1, 1, 1, 1})
+	for i, rg := range ranges {
+		lo, hi := BlockRange(97, 5, i)
+		if rg[0] != lo || rg[1] != hi {
+			t.Fatalf("uniform weighted ranges diverge at %d: %v vs [%d,%d)", i, rg, lo, hi)
+		}
+	}
+}
+
+func TestWeightedBlockRangesProportional(t *testing.T) {
+	ranges := WeightedBlockRanges(400, []float64{3, 1})
+	if sz := ranges[0][1] - ranges[0][0]; sz != 300 {
+		t.Fatalf("fast rank got %d of 400 columns, want 300", sz)
+	}
+}
+
+func TestPlatformValidationHeterogeneous(t *testing.T) {
+	p := cluster.NewPlatform(2, 2)
+	p.Cost.NodeSpeed = []float64{1} // wrong length
+	if err := p.Validate(); err == nil {
+		t.Fatal("wrong NodeSpeed length accepted")
+	}
+	p.Cost.NodeSpeed = []float64{1, -1}
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+	p.Cost.NodeSpeed = []float64{1, 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Heterogeneous() {
+		t.Fatal("Heterogeneous() false for distinct speeds")
+	}
+	if p.RankSpeed(0) != 1 || p.RankSpeed(3) != 4 {
+		t.Fatalf("rank speeds %v %v", p.RankSpeed(0), p.RankSpeed(3))
+	}
+	uniform := cluster.NewPlatform(2, 2)
+	if uniform.Heterogeneous() {
+		t.Fatal("homogeneous platform flagged heterogeneous")
+	}
+}
+
+func TestHeterogeneousResultUnchanged(t *testing.T) {
+	// Load balancing must not change WHAT is computed, only how it is
+	// split: results on heterogeneous and homogeneous platforms agree.
+	a := testData(t, 24, 90, 41)
+	x := randVec(rng.New(42), 90)
+
+	even := NewDenseGram(cluster.NewComm(cluster.NewPlatform(4, 1)), a)
+	skew := NewDenseGram(cluster.NewComm(heteroPlatform(1, 2, 4, 8)), a)
+	y1 := make([]float64, 90)
+	y2 := make([]float64, 90)
+	even.Apply(x, y1)
+	skew.Apply(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-10 {
+			t.Fatalf("heterogeneous partitioning changed the product at %d", i)
+		}
+	}
+}
+
+func TestHeterogeneousLoadBalancingPays(t *testing.T) {
+	// On a cluster with one slow node, speed-proportional partitioning
+	// must beat the naive even split in modeled time: with an even split
+	// the slow node is the critical path.
+	a := testData(t, 32, 800, 43)
+	x := randVec(rng.New(44), 800)
+	y := make([]float64, 800)
+
+	slowNode := heteroPlatform(1, 4, 4, 4)
+
+	// Balanced: the operators use speed-weighted partitioning.
+	balanced := NewDenseGram(cluster.NewComm(slowNode), a)
+	stBal := balanced.Apply(x, y)
+
+	// Naive: fake uniform weights by marking the platform homogeneous for
+	// partitioning but running on the heterogeneous communicator. Build
+	// the operator on a homogeneous platform, then transplant the blocks —
+	// simplest is to construct with uniform ranges via a uniform comm and
+	// re-run on the skewed one. Instead, emulate: partition evenly by
+	// constructing on a uniform 4-rank platform and measure the modeled
+	// time with the slow node's flop cost applied to rank 0's share.
+	naive := NewDenseGram(cluster.NewComm(cluster.NewPlatform(4, 1)), a)
+	stNaive := naive.Apply(x, y)
+	// rank 0 holds 1/4 of the flops but runs 4x slower on the skewed
+	// platform: its phase time quadruples relative to the uniform run.
+	naiveOnSkew := stNaive.ModeledTime + 3*float64(stNaive.MaxFlops)*slowNode.Cost.FlopTime
+
+	if stBal.ModeledTime >= naiveOnSkew {
+		t.Fatalf("balanced %.3gs not better than naive %.3gs", stBal.ModeledTime, naiveOnSkew)
+	}
+}
+
+func TestHeterogeneousCriticalPathAccounting(t *testing.T) {
+	// Two ranks, rank 1 four times faster, equal flop loads: the phase
+	// cost must be bounded by the slow rank's time.
+	plat := heteroPlatform(1, 4)
+	comm := cluster.NewComm(plat)
+	st := comm.Run(func(r *cluster.Rank) {
+		r.AddFlops(1000)
+		r.Barrier()
+	})
+	want := 1000 * plat.Cost.FlopTime / 1 // slow rank dominates
+	if math.Abs(st.ModeledTime-want-plat.Latency()) > 1e-12 {
+		t.Fatalf("modeled %v, want %v + latency", st.ModeledTime, want)
+	}
+}

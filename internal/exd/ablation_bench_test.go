@@ -1,0 +1,64 @@
+package exd
+
+// Ablation: the evolving-data update (§V-E, zero-padding of Fig. 3) versus
+// re-running ExD on the combined dataset from scratch. The update's cost is
+// proportional to the NEW columns only, while a refit pays for everything —
+// the gap widens with the accumulated history size.
+
+import (
+	"testing"
+
+	"extdict/internal/dataset"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+func evolveFixtures(b *testing.B) (base, extra *mat.Dense) {
+	b.Helper()
+	r := rng.New(1)
+	u1, err := dataset.GenerateUnion(dataset.UnionParams{M: 64, N: 6000, Ks: []int{3, 4}}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u2, err := dataset.GenerateUnion(dataset.UnionParams{M: 64, N: 500, Ks: []int{6}}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u1.A, u2.A
+}
+
+func BenchmarkAblationEvolveUpdate(b *testing.B) {
+	base, extra := evolveFixtures(b)
+	params := Params{L: 120, Epsilon: 0.08, Seed: 2, Workers: 2}
+	fitted, err := Fit(base, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Clone the transform state so every iteration extends the same
+		// baseline instead of accumulating columns.
+		tr := &Transform{
+			D: fitted.D, C: fitted.C,
+			DictIdx: fitted.DictIdx, Params: fitted.Params,
+		}
+		if _, err := tr.Extend(extra, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEvolveRefit(b *testing.B) {
+	base, extra := evolveFixtures(b)
+	combined := mat.NewDense(base.Rows, base.Cols+extra.Cols)
+	for i := 0; i < base.Rows; i++ {
+		copy(combined.Row(i)[:base.Cols], base.Row(i))
+		copy(combined.Row(i)[base.Cols:], extra.Row(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(combined, Params{L: 130, Epsilon: 0.08, Seed: 2, Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package exd
+
+import (
+	"fmt"
+
+	"extdict/internal/mat"
+	"extdict/internal/omp"
+	"extdict/internal/sparse"
+)
+
+// ExtendResult reports what an evolving-data update did.
+type ExtendResult struct {
+	// NewColumns is the number of data columns appended.
+	NewColumns int
+	// FailedColumns is how many new columns the existing dictionary could
+	// not code within tolerance (before any dictionary growth).
+	FailedColumns int
+	// DictGrown reports whether new atoms were appended to D (the
+	// zero-padding update of Fig. 3).
+	DictGrown bool
+	// AddedAtoms is the number of atoms appended when DictGrown.
+	AddedAtoms int
+	// OMPIters counts the OMP iterations spent by this update.
+	OMPIters int
+}
+
+// Extend implements the evolving-data update of §V-E. New columns aNew are
+// first coded against the existing dictionary (re-running only step 3 of
+// Algorithm 1). If every column meets the error tolerance, C simply gains
+// the new coefficient columns. Otherwise ExD is re-run on aNew alone to
+// obtain (D_new, C_new), the dictionary becomes [D D_new], and the combined
+// coefficient matrix takes the zero-padded block form of Fig. 3:
+//
+//	C' = [ C      C_ok∪0 ]
+//	     [ 0      C_new  ]
+//
+// newL is the dictionary size used for the refit when growth is needed
+// (0 = same ratio L/N as the original fit, at least 1).
+func (t *Transform) Extend(aNew *mat.Dense, newL int) (ExtendResult, error) {
+	var res ExtendResult
+	if aNew.Rows != t.D.Rows {
+		return res, fmt.Errorf("exd: new data has %d rows, dictionary has %d", aNew.Rows, t.D.Rows)
+	}
+	if aNew.Cols == 0 {
+		return res, nil
+	}
+	res.NewColumns = aNew.Cols
+	workers := t.Params.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	eps := t.Params.Epsilon
+
+	// Try the existing dictionary first. The trial pass only needs to
+	// discover whether columns are in-span: cap the support at a small
+	// multiple of the observed density so out-of-span columns fail fast
+	// instead of grinding through min(M, L) futile selections.
+	trialMax := 3*int(t.Alpha()+1) + 4
+	if t.Params.MaxAtoms > 0 && t.Params.MaxAtoms < trialMax {
+		trialMax = t.Params.MaxAtoms
+	}
+	coder := omp.NewBatchCoder(t.D)
+	cNew, iters := coder.EncodeColumns(aNew, eps, trialMax, workers)
+	res.OMPIters += iters
+
+	// Count columns whose residual missed the tolerance: reconstruct the
+	// relative error per column from the achieved code.
+	failed := make([]bool, aNew.Cols)
+	nFailed := 0
+	rec := make([]float64, aNew.Rows)
+	col := make([]float64, aNew.Rows)
+	for j := 0; j < aNew.Cols; j++ {
+		mat.Zero(rec)
+		for p := cNew.ColPtr[j]; p < cNew.ColPtr[j+1]; p++ {
+			atom, v := cNew.RowIdx[p], cNew.Val[p]
+			for i := range rec {
+				rec[i] += v * t.D.At(i, atom)
+			}
+		}
+		aNew.Col(j, col)
+		var num, den float64
+		for i := range col {
+			d := col[i] - rec[i]
+			num += d * d
+			den += col[i] * col[i]
+		}
+		if den > 0 && num > eps*eps*den*(1+1e-9) {
+			failed[j] = true
+			nFailed++
+		}
+	}
+	res.FailedColumns = nFailed
+
+	if nFailed == 0 {
+		// Fast path: C = [C, C_new], D unchanged.
+		t.C = sparse.HStack(t.C, cNew)
+		t.OMPIters += res.OMPIters
+		return res, nil
+	}
+
+	// Growth path: run ExD on aNew to get D_new and C_new, then zero-pad.
+	if newL <= 0 {
+		ratio := float64(t.Params.L) / float64(t.C.Cols)
+		newL = int(ratio * float64(aNew.Cols))
+		if newL < 1 {
+			newL = 1
+		}
+	}
+	if newL > aNew.Cols {
+		newL = aNew.Cols
+	}
+	sub := t.Params
+	sub.L = newL
+	sub.Seed = t.Params.Seed + 0x9e37
+	fresh, err := Fit(aNew, sub)
+	if err != nil {
+		return res, err
+	}
+	res.OMPIters += fresh.OMPIters
+	res.DictGrown = true
+	res.AddedAtoms = fresh.D.Cols
+
+	oldL := t.D.Cols
+	totalL := oldL + fresh.D.Cols
+
+	// D' = [D D_new].
+	d2 := mat.NewDense(t.D.Rows, totalL)
+	for i := 0; i < t.D.Rows; i++ {
+		copy(d2.Row(i)[:oldL], t.D.Row(i))
+		copy(d2.Row(i)[oldL:], fresh.D.Row(i))
+	}
+
+	// C' = [C padded ; C_new shifted] stacked horizontally.
+	oldPadded := t.C.PadRows(totalL)
+	newShifted := fresh.C.ShiftRows(oldL, totalL)
+	t.D = d2
+	t.C = sparse.HStack(oldPadded, newShifted)
+	for range fresh.DictIdx {
+		t.DictIdx = append(t.DictIdx, -1)
+	}
+	t.OMPIters += res.OMPIters
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package exd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extdict/internal/dataset"
+	"extdict/internal/rng"
+)
+
+// Property-based invariants of the ExD transform over random
+// union-of-subspaces datasets and random parameters.
+
+func TestTransformInvariants(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		m := 12 + r.Intn(24)
+		n := 40 + r.Intn(120)
+		ks := []int{2 + r.Intn(3), 2 + r.Intn(4)}
+		u, err := dataset.GenerateUnion(dataset.UnionParams{M: m, N: n, Ks: ks}, r)
+		if err != nil {
+			return false
+		}
+		l := 2*(ks[0]+ks[1]) + r.Intn(n/2)
+		if l > n {
+			l = n
+		}
+		eps := 0.05 + 0.2*r.Float64()
+		tr, err := Fit(u.A, Params{L: l, Epsilon: eps, Seed: uint64(seed) + 1, Workers: 1 + r.Intn(3)})
+		if err != nil {
+			return false
+		}
+
+		// Shape invariants.
+		if tr.D.Rows != m || tr.D.Cols != l || tr.C.Rows != l || tr.C.Cols != n {
+			return false
+		}
+		if err := tr.C.Check(); err != nil {
+			return false
+		}
+		// Dictionary indices are valid, distinct columns of A.
+		seen := map[int]bool{}
+		for _, idx := range tr.DictIdx {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		// Density bounds: 0 ≤ α ≤ min(M, L); iterations == nnz.
+		a := tr.Alpha()
+		maxA := float64(m)
+		if l < m {
+			maxA = float64(l)
+		}
+		if a < 0 || a > maxA {
+			return false
+		}
+		if tr.OMPIters != tr.C.NNZ() {
+			return false
+		}
+		// Achieved error never negative, and the reported memory matches
+		// its definition.
+		if tr.RelError(u.A) < 0 {
+			return false
+		}
+		want := m*l + 2*tr.C.NNZ() + n + 1
+		return tr.MemoryWords() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendPreservesOldCodes(t *testing.T) {
+	// Property: extending never alters the coefficients of previously
+	// coded columns (both fast path and growth path).
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 99)
+		u1, err := dataset.GenerateUnion(dataset.UnionParams{M: 20, N: 80, Ks: []int{3}}, r)
+		if err != nil {
+			return false
+		}
+		u2, err := dataset.GenerateUnion(dataset.UnionParams{M: 20, N: 30, Ks: []int{2 + r.Intn(5)}}, r)
+		if err != nil {
+			return false
+		}
+		tr, err := Fit(u1.A, Params{L: 40, Epsilon: 0.1, Seed: uint64(seed), Workers: 2})
+		if err != nil {
+			return false
+		}
+		type entry struct {
+			row int
+			val float64
+		}
+		before := make([][]entry, 80)
+		for j := 0; j < 80; j++ {
+			for p := tr.C.ColPtr[j]; p < tr.C.ColPtr[j+1]; p++ {
+				before[j] = append(before[j], entry{tr.C.RowIdx[p], tr.C.Val[p]})
+			}
+		}
+		if _, err := tr.Extend(u2.A, 0); err != nil {
+			return false
+		}
+		for j := 0; j < 80; j++ {
+			got := tr.C.ColPtr[j+1] - tr.C.ColPtr[j]
+			if got != len(before[j]) {
+				return false
+			}
+			for k, p := 0, tr.C.ColPtr[j]; p < tr.C.ColPtr[j+1]; k, p = k+1, p+1 {
+				if tr.C.RowIdx[p] != before[j][k].row || tr.C.Val[p] != before[j][k].val {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

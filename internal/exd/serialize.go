@@ -1,0 +1,184 @@
+package exd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"extdict/internal/mat"
+	"extdict/internal/sparse"
+)
+
+// Serialization of fitted transforms: preprocessing is the expensive
+// one-time step ExtDict amortizes over many runs (§I), so a production
+// deployment fits once and ships (D, C) to the compute jobs. The format is
+// little-endian binary: a magic string, the Params, the dictionary, the CSC
+// arrays, and the dictionary provenance indices.
+
+const transformMagic = "EXDTFM01"
+
+// ErrBadTransformFile reports an unreadable or corrupt transform file.
+var ErrBadTransformFile = errors.New("exd: bad transform file")
+
+// WriteTo serializes the transform. It returns the byte count written.
+func (t *Transform) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(transformMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(transformMagic))
+
+	hdr := []int64{
+		int64(t.D.Rows), int64(t.D.Cols),
+		int64(t.C.Rows), int64(t.C.Cols), int64(t.C.NNZ()),
+		int64(t.Params.L), int64(t.Params.MaxAtoms), int64(t.OMPIters),
+	}
+	if err := write(hdr); err != nil {
+		return n, err
+	}
+	if err := write(math.Float64bits(t.Params.Epsilon)); err != nil {
+		return n, err
+	}
+	if err := write(t.Params.Seed); err != nil {
+		return n, err
+	}
+
+	// Dictionary, row-major.
+	for i := 0; i < t.D.Rows; i++ {
+		if err := write(t.D.Row(i)); err != nil {
+			return n, err
+		}
+	}
+	// CSC arrays as int64 + float64.
+	colPtr := make([]int64, len(t.C.ColPtr))
+	for i, v := range t.C.ColPtr {
+		colPtr[i] = int64(v)
+	}
+	if err := write(colPtr); err != nil {
+		return n, err
+	}
+	rowIdx := make([]int64, len(t.C.RowIdx))
+	for i, v := range t.C.RowIdx {
+		rowIdx[i] = int64(v)
+	}
+	if err := write(rowIdx); err != nil {
+		return n, err
+	}
+	if err := write(t.C.Val); err != nil {
+		return n, err
+	}
+	dictIdx := make([]int64, len(t.DictIdx))
+	for i, v := range t.DictIdx {
+		dictIdx[i] = int64(v)
+	}
+	if err := write(dictIdx); err != nil {
+		return n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadTransform deserializes a transform written by WriteTo, validating
+// structural invariants before returning it.
+func ReadTransform(r io.Reader) (*Transform, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(transformMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTransformFile, err)
+	}
+	if string(magic) != transformMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTransformFile, magic)
+	}
+	read := func(v any) error {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadTransformFile, err)
+		}
+		return nil
+	}
+	hdr := make([]int64, 8)
+	if err := read(hdr); err != nil {
+		return nil, err
+	}
+	dRows, dCols := int(hdr[0]), int(hdr[1])
+	cRows, cCols, nnz := int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if dRows <= 0 || dCols <= 0 || cRows != dCols || cCols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("%w: inconsistent header %v", ErrBadTransformFile, hdr)
+	}
+	const maxDim = 1 << 28
+	if dRows > maxDim || dCols > maxDim || cCols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("%w: implausible sizes %v", ErrBadTransformFile, hdr)
+	}
+	var epsBits, seed uint64
+	if err := read(&epsBits); err != nil {
+		return nil, err
+	}
+	if err := read(&seed); err != nil {
+		return nil, err
+	}
+
+	t := &Transform{
+		D:        mat.NewDense(dRows, dCols),
+		OMPIters: int(hdr[7]),
+		Params: Params{
+			L: int(hdr[5]), MaxAtoms: int(hdr[6]),
+			Epsilon: math.Float64frombits(epsBits), Seed: seed,
+		},
+	}
+	for i := 0; i < dRows; i++ {
+		if err := read(t.D.Row(i)); err != nil {
+			return nil, err
+		}
+	}
+	colPtr := make([]int64, cCols+1)
+	if err := read(colPtr); err != nil {
+		return nil, err
+	}
+	rowIdx := make([]int64, nnz)
+	if err := read(rowIdx); err != nil {
+		return nil, err
+	}
+	val := make([]float64, nnz)
+	if err := read(val); err != nil {
+		return nil, err
+	}
+	dictIdx := make([]int64, dCols)
+	if err := read(dictIdx); err != nil {
+		return nil, err
+	}
+
+	c := &sparse.CSC{
+		Rows:   cRows,
+		Cols:   cCols,
+		ColPtr: make([]int, len(colPtr)),
+		RowIdx: make([]int, len(rowIdx)),
+		Val:    val,
+	}
+	for i, v := range colPtr {
+		c.ColPtr[i] = int(v)
+	}
+	for i, v := range rowIdx {
+		c.RowIdx[i] = int(v)
+	}
+	if err := c.Check(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTransformFile, err)
+	}
+	t.C = c
+	t.DictIdx = make([]int, len(dictIdx))
+	for i, v := range dictIdx {
+		t.DictIdx[i] = int(v)
+	}
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package exd
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"extdict/internal/dataset"
+	"extdict/internal/rng"
+)
+
+func TestTransformSerializationRoundTrip(t *testing.T) {
+	u, err := dataset.GenerateUnion(dataset.UnionParams{M: 20, N: 90, Ks: []int{3, 4}}, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Fit(u.A, Params{L: 40, Epsilon: 0.07, MaxAtoms: 12, Seed: 62, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadTransform(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.L() != tr.L() || got.N() != tr.N() || got.C.NNZ() != tr.C.NNZ() {
+		t.Fatal("shape changed through serialization")
+	}
+	// Workers is host-specific and intentionally not serialized.
+	want := tr.Params
+	want.Workers = 0
+	if got.Params != want || got.OMPIters != tr.OMPIters {
+		t.Fatalf("metadata changed: %+v vs %+v", got.Params, want)
+	}
+	for i := range tr.D.Data {
+		if math.Float64bits(tr.D.Data[i]) != math.Float64bits(got.D.Data[i]) {
+			t.Fatal("dictionary bits changed")
+		}
+	}
+	for i := range tr.C.Val {
+		if tr.C.RowIdx[i] != got.C.RowIdx[i] || tr.C.Val[i] != got.C.Val[i] {
+			t.Fatal("coefficients changed")
+		}
+	}
+	for i := range tr.DictIdx {
+		if tr.DictIdx[i] != got.DictIdx[i] {
+			t.Fatal("provenance changed")
+		}
+	}
+	// The deserialized transform must behave identically.
+	if got.RelError(u.A) != tr.RelError(u.A) {
+		t.Fatal("reconstruction differs after round trip")
+	}
+}
+
+func TestReadTransformRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________________"),
+	}
+	for _, c := range cases {
+		if _, err := ReadTransform(bytes.NewReader(c)); !errors.Is(err, ErrBadTransformFile) {
+			t.Fatalf("garbage %q accepted: %v", c, err)
+		}
+	}
+}
+
+func TestReadTransformRejectsTruncation(t *testing.T) {
+	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 12, N: 40, Ks: []int{3}}, rng.New(63))
+	tr, err := Fit(u.A, Params{L: 15, Epsilon: 0.1, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := ReadTransform(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadTransformFile) {
+			t.Fatalf("truncation at %d accepted: %v", cut, err)
+		}
+	}
+}
+
+func TestReadTransformRejectsCorruptCSC(t *testing.T) {
+	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 12, N: 40, Ks: []int{3}}, rng.New(65))
+	tr, err := Fit(u.A, Params{L: 15, Epsilon: 0.1, Seed: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a row index deep in the CSC section to an out-of-range value.
+	// The CSC row indices live after magic+header+eps+seed+dictionary.
+	off := len(transformMagic) + 8*8 + 8 + 8 + 8*tr.D.Rows*tr.D.Cols + 8*(tr.C.Cols+1)
+	if off+8 <= len(raw) {
+		for i := 0; i < 8; i++ {
+			raw[off+i] = 0xff
+		}
+		if _, err := ReadTransform(bytes.NewReader(raw)); err == nil {
+			t.Fatal("corrupt CSC accepted")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/solver"
+	"extdict/internal/tune"
+)
+
+// Fig10Cell is one (dataset, platform) Power-method comparison.
+type Fig10Cell struct {
+	Platform      cluster.Topology
+	BaselineSec   float64
+	BaselineIters int
+	ExtDictSec    float64
+	ExtDictIters  int
+	Improvement   float64
+	ChosenL       int
+	// InRegime mirrors Fig7Cell.InRegime: N/P ≥ 2·L, the paper's
+	// operating regime where the transformed iteration wins.
+	InRegime bool
+}
+
+// Fig10Dataset holds one dataset's sweep.
+type Fig10Dataset struct {
+	Name  string
+	Cells []Fig10Cell
+}
+
+// Fig10Result reproduces Fig. 10: runtime of the Power method extracting
+// the first 10 eigenvalues, iterating on the raw Gram matrix AᵀA versus on
+// the ExD-transformed (DC)ᵀDC, across datasets and platforms.
+type Fig10Result struct {
+	Epsilon    float64
+	Components int
+	Datasets   []Fig10Dataset
+}
+
+// Fig10 runs the sweep. components ≤ 0 selects the paper's 10.
+func Fig10(cfg Config, components int) (*Fig10Result, error) {
+	cfg = cfg.filled()
+	const eps = 0.1
+	if components <= 0 {
+		components = 10
+	}
+	res := &Fig10Result{Epsilon: eps, Components: components}
+	for _, name := range dataset.PresetNames() {
+		u, err := loadPreset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ds := Fig10Dataset{Name: name}
+		opts := solver.PowerOpts{Components: components, Seed: cfg.Seed + 0x10, Tol: 1e-6}
+		for _, plat := range cluster.PaperPlatforms() {
+			base := solver.PowerMethod(dist.NewDenseGram(cluster.NewComm(plat), u.A), opts)
+
+			tr, _, err := tune.TuneAndFit(u.A, plat, tune.Config{
+				Epsilon: eps, Workers: cfg.Workers, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			op, err := dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
+			if err != nil {
+				return nil, err
+			}
+			fast := solver.PowerMethod(op, opts)
+
+			ds.Cells = append(ds.Cells, Fig10Cell{
+				Platform:      plat.Topology,
+				BaselineSec:   base.Stats.ModeledTime,
+				BaselineIters: base.Iters,
+				ExtDictSec:    fast.Stats.ModeledTime,
+				ExtDictIters:  fast.Iters,
+				Improvement:   base.Stats.ModeledTime / fast.Stats.ModeledTime,
+				ChosenL:       tr.L(),
+				InRegime:      u.A.Cols/plat.Topology.P() >= 2*tr.L(),
+			})
+		}
+		res.Datasets = append(res.Datasets, ds)
+	}
+	return res, nil
+}
+
+// Table renders one block per dataset.
+func (r *Fig10Result) Table() string {
+	out := fmt.Sprintf("Fig.10 — Power method (first %d eigenvalues), AᵀA vs ExD (eps=%.2f)\n",
+		r.Components, r.Epsilon)
+	for _, ds := range r.Datasets {
+		tw := &tableWriter{header: []string{
+			"platform", "L*", "regime", "AᵀA(ms)", "iters", "ExtDict(ms)", "iters", "improvement"}}
+		for _, c := range ds.Cells {
+			tw.addRow(
+				c.Platform.String(),
+				fmt.Sprintf("%d", c.ChosenL),
+				fmt.Sprintf("%v", c.InRegime),
+				fmt.Sprintf("%.2f", c.BaselineSec*1e3),
+				fmt.Sprintf("%d", c.BaselineIters),
+				fmt.Sprintf("%.2f", c.ExtDictSec*1e3),
+				fmt.Sprintf("%d", c.ExtDictIters),
+				fmt.Sprintf("%.2fx", c.Improvement),
+			)
+		}
+		out += fmt.Sprintf("\n%s\n%s", ds.Name, tw.String())
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extdict/internal/cluster"
+)
+
+// Fig11Point is one ε sample of the error trade-off.
+type Fig11Point struct {
+	Epsilon  float64
+	RelError float64 // ‖y* - ŷ‖/‖y*‖
+	PSNRdB   float64
+	Iters    int
+}
+
+// Fig11App holds one application's ε sweep.
+type Fig11App struct {
+	Name   string
+	Points []Fig11Point
+}
+
+// Fig11Result reproduces Fig. 11: the effect of the transformation error ε
+// on the final learning (reconstruction) error for denoising and
+// super-resolution. The paper's observation: sizeable ε values buy large
+// runtime/memory savings while barely moving the reconstruction error.
+type Fig11Result struct {
+	Apps []Fig11App
+}
+
+// Fig11Epsilons is the sweep grid.
+var Fig11Epsilons = []float64{0.01, 0.05, 0.1, 0.2, 0.3}
+
+// Fig11 sweeps ε for both applications on a fixed 1×4 platform (the error
+// is platform-independent; the platform only affects speed).
+func Fig11(cfg Config) (*Fig11Result, error) {
+	cfg = cfg.filled()
+	plat := cluster.NewPlatform(1, 4)
+	res := &Fig11Result{}
+	for appIdx := 0; appIdx < 2; appIdx++ {
+		prob, err := buildApp(appIdx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		app := Fig11App{Name: appName(appIdx)}
+		for _, eps := range Fig11Epsilons {
+			out, err := prob.solveExtDict(plat, eps, cfg, 400)
+			if err != nil {
+				return nil, err
+			}
+			app.Points = append(app.Points, Fig11Point{
+				Epsilon:  eps,
+				RelError: prob.relError(out.X),
+				PSNRdB:   prob.psnr(out.X),
+				Iters:    out.Iters,
+			})
+		}
+		res.Apps = append(res.Apps, app)
+	}
+	return res, nil
+}
+
+// Table renders one block per application.
+func (r *Fig11Result) Table() string {
+	out := "Fig.11 — reconstruction error vs transformation error\n"
+	for _, app := range r.Apps {
+		tw := &tableWriter{header: []string{"epsilon", "rel.error", "PSNR(dB)", "iters"}}
+		for _, p := range app.Points {
+			tw.addRow(
+				fmt.Sprintf("%.2f", p.Epsilon),
+				fmt.Sprintf("%.4f", p.RelError),
+				fmt.Sprintf("%.2f", p.PSNRdB),
+				fmt.Sprintf("%d", p.Iters),
+			)
+		}
+		out += fmt.Sprintf("\n%s\n%s", app.Name, tw.String())
+	}
+	return out
+}

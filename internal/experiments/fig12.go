@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/solver"
+	"extdict/internal/tune"
+)
+
+// Fig12Point is one ε sample of the PCA learning error.
+type Fig12Point struct {
+	Epsilon float64
+	// LearningError is the normalized cumulative error of the first k
+	// eigenvalues: Σ|λᵢ - λ̂ᵢ| / Σλᵢ.
+	LearningError float64
+}
+
+// Fig12Dataset holds one dataset's sweep.
+type Fig12Dataset struct {
+	Name   string
+	Points []Fig12Point
+}
+
+// Fig12Result reproduces Fig. 12: PCA learning error versus transformation
+// error. Baseline eigenvalues come from the Power method on the raw AᵀA;
+// ExtDict's come from the same solver on (DC)ᵀDC. The error must shrink as
+// ε tightens and stay small (≲ε) throughout.
+type Fig12Result struct {
+	Components int
+	Datasets   []Fig12Dataset
+}
+
+// Fig12Epsilons is the sweep grid.
+var Fig12Epsilons = []float64{0.01, 0.05, 0.1, 0.2}
+
+// Fig12 sweeps ε per preset. components ≤ 0 selects the paper's 10.
+func Fig12(cfg Config, components int) (*Fig12Result, error) {
+	cfg = cfg.filled()
+	if components <= 0 {
+		components = 10
+	}
+	plat := cluster.NewPlatform(1, 4)
+	res := &Fig12Result{Components: components}
+	opts := solver.PowerOpts{Components: components, Seed: cfg.Seed + 0x12, Tol: 1e-8}
+	for _, name := range dataset.PresetNames() {
+		u, err := loadPreset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		exact := solver.PowerMethod(dist.NewDenseGram(cluster.NewComm(plat), u.A), opts)
+		var exactSum float64
+		for _, v := range exact.Eigenvalues {
+			exactSum += v
+		}
+
+		lMin := tune.EstimateLMin(u.A, Fig12Epsilons[0], cfg.Seed)
+		l := lMin * 2
+		if l > u.A.Cols {
+			l = u.A.Cols
+		}
+		ds := Fig12Dataset{Name: name}
+		for _, eps := range Fig12Epsilons {
+			tr, err := exd.Fit(u.A, exd.Params{
+				L: l, Epsilon: eps, Workers: cfg.Workers, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			op, err := dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
+			if err != nil {
+				return nil, err
+			}
+			approx := solver.PowerMethod(op, opts)
+			var errSum float64
+			for k := range exact.Eigenvalues {
+				errSum += math.Abs(exact.Eigenvalues[k] - approx.Eigenvalues[k])
+			}
+			ds.Points = append(ds.Points, Fig12Point{
+				Epsilon:       eps,
+				LearningError: errSum / exactSum,
+			})
+		}
+		res.Datasets = append(res.Datasets, ds)
+	}
+	return res, nil
+}
+
+// Table renders one block per dataset.
+func (r *Fig12Result) Table() string {
+	out := fmt.Sprintf("Fig.12 — PCA learning error vs transformation error (first %d eigenvalues)\n",
+		r.Components)
+	for _, ds := range r.Datasets {
+		tw := &tableWriter{header: []string{"epsilon", "learning error"}}
+		for _, p := range ds.Points {
+			tw.addRow(fmt.Sprintf("%.2f", p.Epsilon), fmt.Sprintf("%.5f", p.LearningError))
+		}
+		out += fmt.Sprintf("\n%s\n%s", ds.Name, tw.String())
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"extdict/internal/exd"
+	"extdict/internal/tune"
+)
+
+// Fig4Point is one L sample of the density/error curves.
+type Fig4Point struct {
+	L         int
+	AlphaMean float64 // mean nonzeros per column over the trials
+	AlphaStd  float64 // dispersion over random dictionary draws
+	RelError  float64 // mean achieved ‖A-DC‖_F/‖A‖_F
+}
+
+// Fig4Result reproduces Fig. 4: the density function α(L) and the
+// transformation error as functions of the number of sampled columns, with
+// variance bars over repeated random sub-sampling of D.
+type Fig4Result struct {
+	Dataset string
+	Epsilon float64
+	LMin    int
+	Trials  int
+	Points  []Fig4Point
+}
+
+// Fig4 runs the experiment on the Salinas-like preset (the dataset the
+// paper's Fig. 4 uses), ε = 0.1, sweeping L around the measured L_min with
+// `trials` independent dictionary draws per L (paper: 10).
+func Fig4(cfg Config, trials int) (*Fig4Result, error) {
+	cfg = cfg.filled()
+	if trials <= 0 {
+		trials = 10
+	}
+	u, err := loadPreset("salinas", cfg)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 0.1
+	res := &Fig4Result{Dataset: "salinas", Epsilon: eps, Trials: trials}
+	res.LMin = tune.EstimateLMin(u.A, eps, cfg.Seed)
+
+	// Sweep from below the knee to deep into the over-complete regime
+	// (capped as in lGridFor; the paper's axis also stops far below N).
+	lo := res.LMin / 2
+	if lo < 4 {
+		lo = 4
+	}
+	hi := 16 * res.LMin
+	if hi > u.A.Cols {
+		hi = u.A.Cols
+	}
+	for _, l := range geometric(lo, hi, 8) {
+		var sum, sum2, errSum float64
+		for tr := 0; tr < trials; tr++ {
+			t, err := exd.Fit(u.A, exd.Params{
+				L: l, Epsilon: eps, Workers: cfg.Workers,
+				Seed: cfg.Seed + uint64(tr)*7919 + uint64(l),
+			})
+			if err != nil {
+				return nil, err
+			}
+			a := t.Alpha()
+			sum += a
+			sum2 += a * a
+			errSum += t.RelError(u.A)
+		}
+		mean := sum / float64(trials)
+		variance := sum2/float64(trials) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		res.Points = append(res.Points, Fig4Point{
+			L:         l,
+			AlphaMean: mean,
+			AlphaStd:  math.Sqrt(variance),
+			RelError:  errSum / float64(trials),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the two curves of Fig. 4 as aligned columns.
+func (r *Fig4Result) Table() string {
+	tw := &tableWriter{header: []string{"L", "alpha(L)", "±std", "rel.error"}}
+	for _, p := range r.Points {
+		tw.addRow(
+			fmt.Sprintf("%d", p.L),
+			fmt.Sprintf("%.3f", p.AlphaMean),
+			fmt.Sprintf("%.3f", p.AlphaStd),
+			fmt.Sprintf("%.4f", p.RelError),
+		)
+	}
+	return fmt.Sprintf("Fig.4 — alpha(L) and transformation error vs L (%s, eps=%.2f, L_min≈%d, %d trials)\n%s",
+		r.Dataset, r.Epsilon, r.LMin, r.Trials, tw.String())
+}

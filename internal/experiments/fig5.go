@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extdict/internal/dataset"
+	"extdict/internal/exd"
+	"extdict/internal/tune"
+)
+
+// Fig5Series is one ε curve of one dataset: α(L) over the L sweep.
+type Fig5Series struct {
+	Epsilon float64
+	Alpha   []float64 // aligned with Fig5Dataset.Ls
+}
+
+// Fig5Dataset holds the tunability curves of one dataset.
+type Fig5Dataset struct {
+	Name   string
+	M, N   int
+	Ls     []int
+	Series []Fig5Series
+}
+
+// Fig5Result reproduces Fig. 5: ExD's tunability. For each dataset, the
+// average nonzeros per column of C versus dictionary size L, one curve per
+// transformation error ε ∈ {0.01, 0.05, 0.1}. Both a larger L and a looser
+// ε must yield sparser coefficient matrices.
+type Fig5Result struct {
+	Datasets []Fig5Dataset
+}
+
+// Fig5Epsilons are the paper's three tolerance settings.
+var Fig5Epsilons = []float64{0.01, 0.05, 0.1}
+
+// Fig5 sweeps all three dataset presets.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.filled()
+	res := &Fig5Result{}
+	for _, name := range dataset.PresetNames() {
+		u, err := loadPreset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lMin := tune.EstimateLMin(u.A, Fig5Epsilons[len(Fig5Epsilons)-1], cfg.Seed)
+		ds := Fig5Dataset{
+			Name: name, M: u.A.Rows, N: u.A.Cols,
+			Ls: lGridFor(lMin, u.A.Cols, 6),
+		}
+		for _, eps := range Fig5Epsilons {
+			s := Fig5Series{Epsilon: eps}
+			for _, l := range ds.Ls {
+				t, err := exd.Fit(u.A, exd.Params{
+					L: l, Epsilon: eps, Workers: cfg.Workers,
+					Seed: cfg.Seed + uint64(l),
+				})
+				if err != nil {
+					return nil, err
+				}
+				s.Alpha = append(s.Alpha, t.Alpha())
+			}
+			ds.Series = append(ds.Series, s)
+		}
+		res.Datasets = append(res.Datasets, ds)
+	}
+	return res, nil
+}
+
+// Table renders one block per dataset, one α column per ε.
+func (r *Fig5Result) Table() string {
+	out := "Fig.5 — Tunability of ExD: alpha(L) per dataset and epsilon\n"
+	for _, ds := range r.Datasets {
+		header := []string{"L"}
+		for _, s := range ds.Series {
+			header = append(header, fmt.Sprintf("alpha(eps=%.2f)", s.Epsilon))
+		}
+		tw := &tableWriter{header: header}
+		for i, l := range ds.Ls {
+			row := []string{fmt.Sprintf("%d", l)}
+			for _, s := range ds.Series {
+				row = append(row, fmt.Sprintf("%.3f", s.Alpha[i]))
+			}
+			tw.addRow(row...)
+		}
+		out += fmt.Sprintf("\n%s %dx%d\n%s", ds.Name, ds.M, ds.N, tw.String())
+	}
+	return out
+}

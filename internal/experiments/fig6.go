@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extdict/internal/dataset"
+	"extdict/internal/exd"
+	"extdict/internal/rng"
+	"extdict/internal/tune"
+)
+
+// Fig6Curve is α(L) measured on one subset size.
+type Fig6Curve struct {
+	SubsetSize int
+	Alpha      []float64 // aligned with Fig6Dataset.Ls
+}
+
+// Fig6Dataset holds one dataset's subset-estimation sweep.
+type Fig6Dataset struct {
+	Name   string
+	N      int
+	Ls     []int
+	Curves []Fig6Curve // increasing subset sizes; last one is the full data
+}
+
+// Fig6Result reproduces Fig. 6: tuning ExD from subsets of A. For nested
+// random subsets A₁ ⊂ A₂ ⊂ … ⊂ A, the per-column density α(L, Aᵢ, ε)
+// converges to the full-data curve as the subsets grow — the observation
+// that makes §VII's low-overhead tuning sound. ε is fixed at 0.1 as in the
+// paper.
+type Fig6Result struct {
+	Epsilon  float64
+	Datasets []Fig6Dataset
+}
+
+// Fig6 runs the subset sweep on all three presets.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.filled()
+	const eps = 0.1
+	res := &Fig6Result{Epsilon: eps}
+	for _, name := range dataset.PresetNames() {
+		u, err := loadPreset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		n := u.A.Cols
+		// Six nested subset sizes ending at the full data, as in the paper.
+		sizes := []int{}
+		for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 1} {
+			s := int(frac * float64(n))
+			if s < 8 {
+				s = 8
+			}
+			if len(sizes) == 0 || s > sizes[len(sizes)-1] {
+				sizes = append(sizes, s)
+			}
+		}
+		// Cap the L sweep so the larger subsets remain in the estimator's
+		// valid regime (L well below the subset size): the smaller subsets
+		// are *expected* to drift at large L — that is the figure's story —
+		// but the convergence claim needs the top curves to be sound.
+		lMin := tune.EstimateLMin(u.A, eps, cfg.Seed)
+		maxL := sizes[len(sizes)-2] / 2
+		if maxL <= lMin {
+			maxL = lMin * 2
+		}
+		if maxL > n {
+			maxL = n
+		}
+		// Start above the knee: right at L_min the density estimate is
+		// dominated by feasibility noise on every subset, which is not the
+		// quantity the figure studies.
+		loL := lMin + lMin/2
+		if loL >= maxL {
+			loL = maxL - 1
+		}
+		if loL < 4 {
+			loL = 4
+		}
+		ds := Fig6Dataset{Name: name, N: n, Ls: geometric(loL, maxL, 5)}
+
+		// Nested subsets: a fixed permutation prefix keeps Aᵢ ⊂ Aᵢ₊₁.
+		perm := rng.New(cfg.Seed ^ hashName(name) ^ 0xf16).Perm(n)
+		for _, size := range sizes {
+			sub := u.A.ColSlice(perm[:size])
+			c := Fig6Curve{SubsetSize: size}
+			for _, l := range ds.Ls {
+				li := l
+				if li > size {
+					li = size
+				}
+				t, err := exd.Fit(sub, exd.Params{
+					L: li, Epsilon: eps, Workers: cfg.Workers,
+					Seed: cfg.Seed + uint64(l),
+				})
+				if err != nil {
+					return nil, err
+				}
+				c.Alpha = append(c.Alpha, t.Alpha())
+			}
+			ds.Curves = append(ds.Curves, c)
+		}
+		res.Datasets = append(res.Datasets, ds)
+	}
+	return res, nil
+}
+
+// FinalDiscrepancy returns, for dataset di, the maximum relative difference
+// between the smallest-subset curve and the full-data curve — the
+// "estimation error from 10% of the data" number the paper quotes (<14%).
+func (r *Fig6Result) FinalDiscrepancy(di int) float64 {
+	ds := r.Datasets[di]
+	first, last := ds.Curves[0], ds.Curves[len(ds.Curves)-1]
+	worst := 0.0
+	for i := range last.Alpha {
+		if last.Alpha[i] == 0 {
+			continue
+		}
+		d := abs(first.Alpha[i]-last.Alpha[i]) / last.Alpha[i]
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Table renders one block per dataset: a row per L, a column per subset.
+func (r *Fig6Result) Table() string {
+	out := fmt.Sprintf("Fig.6 — alpha(L) estimated from nested subsets (eps=%.2f)\n", r.Epsilon)
+	for di, ds := range r.Datasets {
+		header := []string{"L"}
+		for _, c := range ds.Curves {
+			header = append(header, fmt.Sprintf("|A|=%d", c.SubsetSize))
+		}
+		tw := &tableWriter{header: header}
+		for i, l := range ds.Ls {
+			row := []string{fmt.Sprintf("%d", l)}
+			for _, c := range ds.Curves {
+				row = append(row, fmt.Sprintf("%.3f", c.Alpha[i]))
+			}
+			tw.addRow(row...)
+		}
+		out += fmt.Sprintf("\n%s (N=%d, worst small-subset discrepancy %.1f%%)\n%s",
+			ds.Name, ds.N, 100*r.FinalDiscrepancy(di), tw.String())
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/perf"
+	"extdict/internal/rng"
+	"extdict/internal/tune"
+)
+
+// Fig8Point compares the closed-form model against the simulated cost for
+// one (L, platform) pair.
+type Fig8Point struct {
+	L             int
+	P             int
+	PredictedTime float64 // Eq. 2 model (seconds)
+	MeasuredTime  float64 // simulated bulk-synchronous cost (seconds)
+}
+
+// Fig8Dataset holds one dataset's verification grid.
+type Fig8Dataset struct {
+	Name   string
+	Points []Fig8Point
+}
+
+// Fig8Result reproduces Fig. 8: verification of the performance model. The
+// top row of the paper's figure is the Eq. 2 estimate, the bottom row the
+// measured runtime of (DC)ᵀDC·x; the claim is that the predicted trend
+// across L and platforms matches the measurement. Here the measurement is
+// the simulator's exact bulk-synchronous accounting, averaged over
+// iterations.
+type Fig8Result struct {
+	Epsilon  float64
+	Datasets []Fig8Dataset
+}
+
+// Fig8 sweeps L × platform per preset, measuring one Gram iteration.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.filled()
+	const eps = 0.1
+	const iters = 10 // paper: runtimes averaged over 10 iterations
+	res := &Fig8Result{Epsilon: eps}
+	for _, name := range dataset.PresetNames() {
+		u, err := loadPreset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		n := u.A.Cols
+		lMin := tune.EstimateLMin(u.A, eps, cfg.Seed)
+		ds := Fig8Dataset{Name: name}
+		x := make([]float64, n)
+		rr := rng.New(cfg.Seed + 8)
+		for i := range x {
+			x[i] = rr.NormFloat64()
+		}
+		y := make([]float64, n)
+		for _, l := range lGridFor(lMin, n, 4) {
+			tr, err := exd.Fit(u.A, exd.Params{
+				L: l, Epsilon: eps, Workers: cfg.Workers, Seed: cfg.Seed + uint64(l),
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, plat := range cluster.PaperPlatforms() {
+				op, err := dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
+				if err != nil {
+					return nil, err
+				}
+				var acc cluster.Stats
+				for it := 0; it < iters; it++ {
+					acc.Accumulate(op.Apply(x, y))
+				}
+				pred := perf.PredictTransformed(u.A.Rows, n, l, tr.C.NNZ(), plat)
+				ds.Points = append(ds.Points, Fig8Point{
+					L: l, P: plat.Topology.P(),
+					PredictedTime: pred.Time,
+					MeasuredTime:  acc.ModeledTime / iters,
+				})
+			}
+		}
+		res.Datasets = append(res.Datasets, ds)
+	}
+	return res, nil
+}
+
+// MaxRelError returns the worst |predicted-measured|/measured across all
+// points of all datasets — the model-fidelity figure of merit.
+func (r *Fig8Result) MaxRelError() float64 {
+	worst := 0.0
+	for _, ds := range r.Datasets {
+		for _, p := range ds.Points {
+			if p.MeasuredTime == 0 {
+				continue
+			}
+			d := abs(p.PredictedTime-p.MeasuredTime) / p.MeasuredTime
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Table renders one block per dataset.
+func (r *Fig8Result) Table() string {
+	out := fmt.Sprintf("Fig.8 — performance model verification (eps=%.2f, worst rel. error %.1f%%)\n",
+		r.Epsilon, 100*r.MaxRelError())
+	for _, ds := range r.Datasets {
+		tw := &tableWriter{header: []string{"L", "P", "predicted(µs)", "measured(µs)", "ratio"}}
+		for _, p := range ds.Points {
+			tw.addRow(
+				fmt.Sprintf("%d", p.L),
+				fmt.Sprintf("%d", p.P),
+				fmt.Sprintf("%.1f", p.PredictedTime*1e6),
+				fmt.Sprintf("%.1f", p.MeasuredTime*1e6),
+				fmt.Sprintf("%.2f", p.PredictedTime/p.MeasuredTime),
+			)
+		}
+		out += fmt.Sprintf("\n%s\n%s", ds.Name, tw.String())
+	}
+	return out
+}

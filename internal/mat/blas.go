@@ -1,0 +1,144 @@
+package mat
+
+// This file holds the level-2/level-3 kernels: matrix-vector products,
+// transpose products, general matrix multiply, and the symmetric AᵀA used to
+// form Gram matrices. Loop orders are chosen for row-major locality: every
+// inner loop streams over contiguous memory.
+
+// MulVec computes y = A·x. len(x) must be A.Cols; y must have length A.Rows
+// (allocated when nil). Returns y.
+func (m *Dense) MulVec(x, y []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("mat: MulVec dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, m.Rows)
+	}
+	if len(y) != m.Rows {
+		panic("mat: MulVec output length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecT computes y = Aᵀ·x. len(x) must be A.Rows; y must have length
+// A.Cols (allocated when nil). Returns y.
+func (m *Dense) MulVecT(x, y []float64) []float64 {
+	if len(x) != m.Rows {
+		panic("mat: MulVecT dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, m.Cols)
+	}
+	if len(y) != m.Cols {
+		panic("mat: MulVecT output length mismatch")
+	}
+	Zero(y)
+	// Accumulate row-by-row: y += x[i] * A[i, :], streaming each row.
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y
+}
+
+// Mul computes C = A·B into a freshly allocated matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic("mat: Mul dimension mismatch")
+	}
+	c := NewDense(a.Rows, b.Cols)
+	MulTo(c, a, b)
+	return c
+}
+
+// MulTo computes dst = A·B. dst must be A.Rows×B.Cols and must not alias A
+// or B.
+func MulTo(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulTo dimension mismatch")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		Zero(dst.Row(i))
+	}
+	// ikj order: the inner loop walks rows of B and dst contiguously.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, v := range brow {
+				drow[j] += aik * v
+			}
+		}
+	}
+}
+
+// ATA computes the Gram matrix G = AᵀA (A.Cols × A.Cols), exploiting
+// symmetry: only the upper triangle is computed, then mirrored.
+func ATA(a *Dense) *Dense {
+	n := a.Cols
+	g := NewDense(n, n)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for p := 0; p < n; p++ {
+			vp := row[p]
+			if vp == 0 {
+				continue
+			}
+			grow := g.Row(p)
+			for q := p; q < n; q++ {
+				grow[q] += vp * row[q]
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			g.Set(q, p, g.At(p, q))
+		}
+	}
+	return g
+}
+
+// GramColumns computes the k×k Gram matrix of the selected columns of A:
+// G[p][q] = <A[:,cols[p]], A[:,cols[q]]>. Used by Batch-OMP, which needs the
+// dictionary Gram matrix DᵀD.
+func GramColumns(a *Dense, cols []int) *Dense {
+	k := len(cols)
+	g := NewDense(k, k)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for p := 0; p < k; p++ {
+			vp := row[cols[p]]
+			if vp == 0 {
+				continue
+			}
+			grow := g.Row(p)
+			for q := p; q < k; q++ {
+				grow[q] += vp * row[cols[q]]
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			g.Set(q, p, g.At(p, q))
+		}
+	}
+	return g
+}

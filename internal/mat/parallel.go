@@ -1,0 +1,87 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers is the default number of goroutines used by the parallel kernels.
+// It is a variable so tests can pin it for determinism of scheduling-related
+// behaviour (results are identical either way).
+var Workers = runtime.GOMAXPROCS(0)
+
+// parallelFor runs body(lo, hi) over a partition of [0, n) across at most
+// Workers goroutines. When n is small the body runs inline.
+func parallelFor(n int, body func(lo, hi int)) {
+	w := Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < 256 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParMulVec computes y = A·x across goroutines, partitioning output rows.
+// Semantics match MulVec.
+func (m *Dense) ParMulVec(x, y []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("mat: ParMulVec dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, m.Rows)
+	}
+	if len(y) != m.Rows {
+		panic("mat: ParMulVec output length mismatch")
+	}
+	parallelFor(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = s
+		}
+	})
+	return y
+}
+
+// ParMulTo computes dst = A·B across goroutines, partitioning output rows.
+// Semantics match MulTo.
+func ParMulTo(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: ParMulTo dimension mismatch")
+	}
+	parallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			Zero(drow)
+			arow := a.Row(i)
+			for k, aik := range arow {
+				if aik == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, v := range brow {
+					drow[j] += aik * v
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package matio reads and writes data matrices in the two formats the
+// command-line tools accept: CSV (one row per line, comma-separated, for
+// interoperability) and EDM, a compact little-endian binary format
+// ("EXTDICT1" magic, two int64 dimensions, then rows·cols float64 values in
+// row-major order) for large datasets.
+package matio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"extdict/internal/mat"
+)
+
+const binaryMagic = "EXTDICT1"
+
+// ErrBadFormat reports an unreadable or corrupt matrix file.
+var ErrBadFormat = errors.New("matio: bad matrix file format")
+
+// WriteCSV writes m with one matrix row per line.
+func WriteCSV(w io.Writer, m *mat.Dense) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a comma-separated matrix; every line must have the same
+// number of fields.
+func ReadCSV(r io.Reader) (*mat.Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var data []float64
+	cols := -1
+	rows := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d",
+				ErrBadFormat, rows+1, len(fields), cols)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			data = append(data, v)
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrBadFormat)
+	}
+	return mat.NewDenseData(rows, cols, data), nil
+}
+
+// WriteBinary writes m in the EDM binary format.
+func WriteBinary(w io.Writer, m *mat.Dense) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := [2]int64{int64(m.Rows), int64(m.Cols)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads an EDM binary matrix.
+func ReadBinary(r io.Reader) (*mat.Dense, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	var hdr [2]int64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	rows, cols := int(hdr[0]), int(hdr[1])
+	if rows <= 0 || cols <= 0 || rows > 1<<24 || cols > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrBadFormat, rows, cols)
+	}
+	m := mat.NewDense(rows, cols)
+	buf := make([]byte, 8*cols)
+	for i := 0; i < rows; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated at row %d: %v", ErrBadFormat, i, err)
+		}
+		row := m.Row(i)
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+	}
+	return m, nil
+}
+
+// Load reads a matrix from path, choosing the format by extension
+// (.edm = binary, anything else = CSV).
+func Load(path string) (*mat.Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".edm") {
+		return ReadBinary(f)
+	}
+	return ReadCSV(f)
+}
+
+// Save writes a matrix to path, choosing the format by extension.
+func Save(path string, m *mat.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".edm") {
+		werr = WriteBinary(f, m)
+	} else {
+		werr = WriteCSV(f, m)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,125 @@
+package matio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+func randomMatrix(seed uint64, r, c int) *mat.Dense {
+	g := rng.New(seed)
+	m := mat.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = g.NormFloat64()
+	}
+	return m
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := randomMatrix(1, 7, 5)
+	m.Set(0, 0, 0)
+	m.Set(1, 2, -1e-17)
+	m.Set(2, 3, 1e300)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(m, got, 0) {
+		t.Fatal("CSV round trip changed values")
+	}
+}
+
+func TestCSVSkipsBlankLines(t *testing.T) {
+	in := "1,2\n\n3,4\n"
+	m, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("parsed %+v", m)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("empty input: %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("ragged rows: %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("non-numeric: %v", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := randomMatrix(2, 13, 9)
+	m.Set(3, 3, math.Inf(1))
+	m.Set(4, 4, -0.0)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 13 || got.Cols != 9 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i := range m.Data {
+		if math.Float64bits(m.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("bit-level mismatch at %d", i)
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOTMAGIC"))); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, randomMatrix(3, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestLoadSaveByExtension(t *testing.T) {
+	dir := t.TempDir()
+	m := randomMatrix(4, 6, 8)
+	for _, name := range []string{"m.csv", "m.edm"} {
+		path := filepath.Join(dir, name)
+		if err := Save(path, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.Equal(m, got, 0) {
+			t.Fatalf("%s round trip failed", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := Save("/nonexistent-dir/x.csv", m); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+	_ = os.Remove(filepath.Join(dir, "m.csv"))
+}

@@ -1,0 +1,243 @@
+package omp
+
+import (
+	"math"
+	"sync"
+
+	"extdict/internal/mat"
+	"extdict/internal/sparse"
+)
+
+// gramPrecomputeLimit is the dictionary size above which the full L×L Gram
+// matrix (O(L²) memory) is replaced by lazily computed, cached rows. With
+// over-complete dictionaries L can approach N, where a dense Gram matrix
+// would need O(N²) storage — the exact blow-up ExtDict exists to avoid.
+// It is a variable only so tests can exercise the lazy path cheaply.
+var gramPrecomputeLimit = 2048
+
+// maxLazyCacheFloats bounds the lazy row cache (~256 MB of float64s). Rows
+// beyond the budget are recomputed on demand instead of cached. A variable
+// for the same testing reason.
+var maxLazyCacheFloats = 1 << 25
+
+// BatchCoder codes many signals against one fixed dictionary using Batch-OMP
+// with progressive Cholesky updates (Rubinstein, Zibulevsky & Elad 2008).
+//
+// For moderate dictionaries the setup precomputes the Gram matrix G = DᵀD
+// (O(M·L²)); for very large ones Gram rows are computed on first use and
+// cached under a memory budget. Each signal then costs O(M·L) for the
+// initial correlations plus O(k·L + k³) for a k-sparse code, and never
+// touches the residual vector: its norm is tracked by the recurrence
+// ‖r‖² = ‖a‖² - γᵀ(Dᵀa)_φ.
+type BatchCoder struct {
+	D *mat.Dense // M×L dictionary
+
+	g *mat.Dense // L×L Gram matrix when L ≤ gramPrecomputeLimit, else nil
+
+	mu       sync.Mutex
+	lazyRows [][]float64 // cached Gram rows when g == nil
+	cached   int         // floats currently cached
+}
+
+// NewBatchCoder prepares the Gram structures for d.
+func NewBatchCoder(d *mat.Dense) *BatchCoder {
+	bc := &BatchCoder{D: d}
+	if d.Cols <= gramPrecomputeLimit {
+		bc.g = mat.ATA(d)
+	} else {
+		bc.lazyRows = make([][]float64, d.Cols)
+	}
+	return bc
+}
+
+// gramRow returns row j of DᵀD. The returned slice is shared and read-only.
+func (bc *BatchCoder) gramRow(j int) []float64 {
+	if bc.g != nil {
+		return bc.g.Row(j)
+	}
+	bc.mu.Lock()
+	if r := bc.lazyRows[j]; r != nil {
+		bc.mu.Unlock()
+		return r
+	}
+	bc.mu.Unlock()
+
+	// Compute outside the lock; concurrent duplicate computation is
+	// harmless (identical results) and rare.
+	col := bc.D.Col(j, nil)
+	row := bc.D.MulVecT(col, nil)
+
+	bc.mu.Lock()
+	if bc.lazyRows[j] == nil && bc.cached+len(row) <= maxLazyCacheFloats {
+		bc.lazyRows[j] = row
+		bc.cached += len(row)
+	}
+	bc.mu.Unlock()
+	return row
+}
+
+// Workspace holds per-goroutine scratch so concurrent Encode calls do not
+// allocate per signal. A zero Workspace is ready to use.
+type Workspace struct {
+	alpha0   []float64 // Dᵀa, fixed per signal
+	alpha    []float64 // Dᵀr, updated per iteration
+	gammaRHS []float64 // (Dᵀa)_φ in selection order
+	gamma    []float64 // current coefficients
+	selected []bool
+	rows     [][]float64 // Gram rows of the selected atoms, selection order
+	chol     *mat.Cholesky
+}
+
+func (w *Workspace) reset(l, maxAtoms int) {
+	if cap(w.alpha0) < l {
+		w.alpha0 = make([]float64, l)
+		w.alpha = make([]float64, l)
+		w.selected = make([]bool, l)
+	}
+	w.alpha0 = w.alpha0[:l]
+	w.alpha = w.alpha[:l]
+	w.selected = w.selected[:l]
+	for i := range w.selected {
+		w.selected[i] = false
+	}
+	w.gammaRHS = w.gammaRHS[:0]
+	w.rows = w.rows[:0]
+	if w.chol == nil {
+		w.chol = mat.NewCholesky(maxAtoms)
+	}
+	w.chol.Reset()
+}
+
+// Encode codes signal a with relative tolerance tol and support cap
+// maxAtoms (0 = min(M, L)). ws may be nil, in which case a temporary
+// workspace is used.
+func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspace) Result {
+	d := bc.D
+	if len(a) != d.Rows {
+		panic("omp: signal length does not match dictionary rows")
+	}
+	m, l := d.Rows, d.Cols
+	if maxAtoms <= 0 || maxAtoms > min(m, l) {
+		maxAtoms = min(m, l)
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.reset(l, maxAtoms)
+
+	norm2a := mat.Dot(a, a)
+	res := Result{}
+	if norm2a == 0 {
+		return res
+	}
+	target2 := tol * tol * norm2a
+
+	// α⁰ = Dᵀa; α starts equal to α⁰ because r₀ = a.
+	d.MulVecT(a, ws.alpha0)
+	copy(ws.alpha, ws.alpha0)
+
+	res.Resid2 = norm2a
+	for len(res.Idx) < maxAtoms && res.Resid2 > target2 {
+		// Select the atom with the largest |Dᵀr| among unselected ones.
+		best, bestAbs := -1, 0.0
+		for j := 0; j < l; j++ {
+			if ws.selected[j] {
+				continue
+			}
+			if ca := math.Abs(ws.alpha[j]); ca > bestAbs {
+				best, bestAbs = j, ca
+			}
+		}
+		if best < 0 || bestAbs == 0 {
+			break
+		}
+
+		// Grow the Cholesky factor of G_φφ using only Gram entries.
+		gRow := bc.gramRow(best)
+		cross := make([]float64, len(res.Idx))
+		for i, jj := range res.Idx {
+			cross[i] = gRow[jj]
+		}
+		if err := ws.chol.Append(cross, gRow[best]); err != nil {
+			break
+		}
+		ws.selected[best] = true
+		res.Idx = append(res.Idx, best)
+		ws.rows = append(ws.rows, gRow)
+		ws.gammaRHS = append(ws.gammaRHS, ws.alpha0[best])
+
+		// γ = (G_φφ)⁻¹ (α⁰)_φ.
+		ws.gamma = append(ws.gamma[:0], ws.gammaRHS...)
+		ws.chol.SolveInPlace(ws.gamma)
+
+		// α = α⁰ - G[:, φ]·γ  (residual correlations without the residual;
+		// G is symmetric so the cached rows serve as columns).
+		copy(ws.alpha, ws.alpha0)
+		for i := range res.Idx {
+			gi := ws.gamma[i]
+			if gi == 0 {
+				continue
+			}
+			gj := ws.rows[i]
+			for t := 0; t < l; t++ {
+				ws.alpha[t] -= gi * gj[t]
+			}
+		}
+
+		// ‖r‖² = ‖a‖² - γᵀ(α⁰)_φ.
+		res.Resid2 = norm2a - mat.Dot(ws.gamma, ws.gammaRHS)
+		if res.Resid2 < 0 {
+			res.Resid2 = 0 // rounding can push it slightly negative
+		}
+	}
+	res.Coef = mat.CopyVec(ws.gamma[:len(res.Idx)])
+	res.Iters = len(res.Idx)
+	return res
+}
+
+// EncodeColumns codes every column of a (M×N) in parallel across `workers`
+// goroutines and assembles the coefficient matrix C (L×N) such that
+// A ≈ D·C. It returns C and the total number of OMP iterations performed
+// (used by the preprocessing-overhead accounting).
+func (bc *BatchCoder) EncodeColumns(a *mat.Dense, tol float64, maxAtoms, workers int) (*sparse.CSC, int) {
+	n := a.Cols
+	idx := make([][]int, n)
+	val := make([][]float64, n)
+	iters := make([]int, n)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ws := &Workspace{}
+			col := make([]float64, a.Rows)
+			for j := lo; j < hi; j++ {
+				a.Col(j, col)
+				r := bc.Encode(col, tol, maxAtoms, ws)
+				idx[j], val[j], iters[j] = r.Idx, r.Coef, r.Iters
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, it := range iters {
+		total += it
+	}
+	return sparse.FromColumns(bc.D.Cols, idx, val), total
+}

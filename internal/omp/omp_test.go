@@ -1,0 +1,304 @@
+package omp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// unitDictionary returns an M×L dictionary with unit-norm random columns.
+func unitDictionary(r *rng.RNG, m, l int) *mat.Dense {
+	d := mat.NewDense(m, l)
+	for i := range d.Data {
+		d.Data[i] = r.NormFloat64()
+	}
+	d.NormalizeColumns()
+	return d
+}
+
+// synthSparse builds a signal that is an exact k-sparse combination of
+// dictionary atoms, returning the signal and the support.
+func synthSparse(r *rng.RNG, d *mat.Dense, k int) ([]float64, map[int]float64) {
+	support := map[int]float64{}
+	idx := r.Subset(d.Cols, k)
+	x := make([]float64, d.Cols)
+	for _, j := range idx {
+		c := 1 + r.Float64() // bounded away from zero
+		if r.Float64() < 0.5 {
+			c = -c
+		}
+		support[j] = c
+		x[j] = c
+	}
+	return d.MulVec(x, nil), support
+}
+
+func reconstruct(d *mat.Dense, res Result) []float64 {
+	y := make([]float64, d.Rows)
+	for i, j := range res.Idx {
+		c := res.Coef[i]
+		for row := 0; row < d.Rows; row++ {
+			y[row] += c * d.At(row, j)
+		}
+	}
+	return y
+}
+
+func TestEncodeZeroSignal(t *testing.T) {
+	r := rng.New(1)
+	d := unitDictionary(r, 8, 16)
+	res := Encode(d, make([]float64, 8), 0.1, 0)
+	if res.Iters != 0 || len(res.Idx) != 0 || res.Resid2 != 0 {
+		t.Fatalf("zero signal produced %+v", res)
+	}
+	bres := NewBatchCoder(d).Encode(make([]float64, 8), 0.1, 0, nil)
+	if bres.Iters != 0 {
+		t.Fatal("batch coder failed zero signal")
+	}
+}
+
+func TestEncodeExactRecovery(t *testing.T) {
+	// With an incoherent dictionary and a genuinely sparse signal, OMP with
+	// tol→0 must recover the exact support and coefficients.
+	r := rng.New(2)
+	d := unitDictionary(r, 64, 96)
+	for trial := 0; trial < 20; trial++ {
+		sig, support := synthSparse(r, d, 4)
+		res := Encode(d, sig, 1e-10, 0)
+		if len(res.Idx) != len(support) {
+			t.Fatalf("trial %d: support size %d, want %d", trial, len(res.Idx), len(support))
+		}
+		for i, j := range res.Idx {
+			want, ok := support[j]
+			if !ok {
+				t.Fatalf("trial %d: spurious atom %d", trial, j)
+			}
+			if math.Abs(res.Coef[i]-want) > 1e-8 {
+				t.Fatalf("trial %d: coef for atom %d = %v, want %v", trial, j, res.Coef[i], want)
+			}
+		}
+	}
+}
+
+func TestEncodeToleranceRespected(t *testing.T) {
+	r := rng.New(3)
+	d := unitDictionary(r, 32, 64)
+	sig := make([]float64, 32)
+	for i := range sig {
+		sig[i] = r.NormFloat64()
+	}
+	norm := mat.Norm2(sig)
+	for _, tol := range []float64{0.5, 0.2, 0.05} {
+		res := Encode(d, sig, tol, 0)
+		if math.Sqrt(res.Resid2) > tol*norm+1e-12 {
+			t.Fatalf("tol %v violated: resid %v", tol, math.Sqrt(res.Resid2))
+		}
+		// Reported residual must match the actual reconstruction residual.
+		rec := reconstruct(d, res)
+		diff := make([]float64, len(sig))
+		mat.SubVec(diff, sig, rec)
+		if math.Abs(mat.Dot(diff, diff)-res.Resid2) > 1e-8 {
+			t.Fatalf("tol %v: reported resid² %v, actual %v",
+				tol, res.Resid2, mat.Dot(diff, diff))
+		}
+	}
+}
+
+func TestSmallerToleranceNeverFewerAtoms(t *testing.T) {
+	r := rng.New(4)
+	d := unitDictionary(r, 24, 48)
+	sig := make([]float64, 24)
+	for i := range sig {
+		sig[i] = r.NormFloat64()
+	}
+	prev := -1
+	for _, tol := range []float64{0.5, 0.3, 0.1, 0.05, 0.01} {
+		res := Encode(d, sig, tol, 0)
+		if prev >= 0 && res.Iters < prev {
+			t.Fatalf("tighter tol used fewer atoms: %d then %d", prev, res.Iters)
+		}
+		prev = res.Iters
+	}
+}
+
+func TestMaxAtomsCap(t *testing.T) {
+	r := rng.New(5)
+	d := unitDictionary(r, 16, 32)
+	sig := make([]float64, 16)
+	for i := range sig {
+		sig[i] = r.NormFloat64()
+	}
+	res := Encode(d, sig, 0, 3)
+	if res.Iters > 3 {
+		t.Fatalf("cap violated: %d atoms", res.Iters)
+	}
+	bres := NewBatchCoder(d).Encode(sig, 0, 3, nil)
+	if bres.Iters > 3 {
+		t.Fatalf("batch cap violated: %d atoms", bres.Iters)
+	}
+}
+
+func TestBatchMatchesReference(t *testing.T) {
+	// Core property: Batch-OMP and reference OMP agree on supports,
+	// coefficients, and residuals for arbitrary signals.
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		m := 8 + r.Intn(24)
+		l := m + r.Intn(2*m)
+		d := unitDictionary(r, m, l)
+		sig := make([]float64, m)
+		for i := range sig {
+			sig[i] = r.NormFloat64()
+		}
+		tol := 0.02 + 0.3*r.Float64()
+		ref := Encode(d, sig, tol, 0)
+		bat := NewBatchCoder(d).Encode(sig, tol, 0, nil)
+		if len(ref.Idx) != len(bat.Idx) {
+			return false
+		}
+		for i := range ref.Idx {
+			if ref.Idx[i] != bat.Idx[i] {
+				return false
+			}
+			if math.Abs(ref.Coef[i]-bat.Coef[i]) > 1e-6 {
+				return false
+			}
+		}
+		return math.Abs(ref.Resid2-bat.Resid2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchWorkspaceReuse(t *testing.T) {
+	r := rng.New(6)
+	d := unitDictionary(r, 16, 40)
+	bc := NewBatchCoder(d)
+	ws := &Workspace{}
+	sigs := make([][]float64, 5)
+	for k := range sigs {
+		sigs[k] = make([]float64, 16)
+		for i := range sigs[k] {
+			sigs[k][i] = r.NormFloat64()
+		}
+	}
+	for _, sig := range sigs {
+		withWS := bc.Encode(sig, 0.1, 0, ws)
+		fresh := bc.Encode(sig, 0.1, 0, nil)
+		if len(withWS.Idx) != len(fresh.Idx) {
+			t.Fatal("workspace reuse changed the result")
+		}
+		for i := range withWS.Idx {
+			if withWS.Idx[i] != fresh.Idx[i] ||
+				math.Abs(withWS.Coef[i]-fresh.Coef[i]) > 1e-10 {
+				t.Fatal("workspace reuse changed coefficients")
+			}
+		}
+	}
+}
+
+func TestEncodeColumnsMatchesPerColumn(t *testing.T) {
+	r := rng.New(7)
+	d := unitDictionary(r, 20, 50)
+	a := mat.NewDense(20, 33)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	bc := NewBatchCoder(d)
+	c, iters := bc.EncodeColumns(a, 0.1, 0, 3)
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 50 || c.Cols != 33 {
+		t.Fatalf("C shape %dx%d", c.Rows, c.Cols)
+	}
+	totalIters := 0
+	col := make([]float64, 20)
+	for j := 0; j < a.Cols; j++ {
+		a.Col(j, col)
+		res := bc.Encode(col, 0.1, 0, nil)
+		totalIters += res.Iters
+		if c.ColNNZ(j) != len(res.Idx) {
+			t.Fatalf("column %d nnz %d, want %d", j, c.ColNNZ(j), len(res.Idx))
+		}
+		for i, atom := range res.Idx {
+			if math.Abs(c.At(atom, j)-res.Coef[i]) > 1e-12 {
+				t.Fatalf("column %d coef mismatch", j)
+			}
+		}
+	}
+	if iters != totalIters {
+		t.Fatalf("iteration count %d, want %d", iters, totalIters)
+	}
+}
+
+func TestEncodeColumnsSatisfiesGlobalError(t *testing.T) {
+	// Per-column tolerance implies the global Frobenius criterion
+	// ‖A - DC‖_F ≤ ε‖A‖_F used in Equation 1.
+	r := rng.New(8)
+	d := unitDictionary(r, 24, 72)
+	a := mat.NewDense(24, 40)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	const eps = 0.15
+	bc := NewBatchCoder(d)
+	c, _ := bc.EncodeColumns(a, eps, 0, 2)
+	diff := mat.Mul(d, c.Dense())
+	diff.Sub(a)
+	// diff = DC - A; norm identical either sign.
+	if diff.FrobNorm() > eps*a.FrobNorm()+1e-9 {
+		t.Fatalf("global error %v exceeds %v", diff.FrobNorm()/a.FrobNorm(), eps)
+	}
+}
+
+func TestFullDictionaryGivesUnitCodes(t *testing.T) {
+	// When D == A (L == N), each column codes as a single unit atom
+	// (the paper's extreme case: a_i = D e_i, α(N) = 1).
+	r := rng.New(9)
+	a := unitDictionary(r, 12, 10)
+	bc := NewBatchCoder(a)
+	col := make([]float64, 12)
+	for j := 0; j < a.Cols; j++ {
+		a.Col(j, col)
+		res := bc.Encode(col, 1e-9, 0, nil)
+		if res.Iters != 1 || res.Idx[0] != j {
+			t.Fatalf("column %d coded with %v", j, res.Idx)
+		}
+		if math.Abs(res.Coef[0]-1) > 1e-9 {
+			t.Fatalf("column %d coef %v, want 1", j, res.Coef[0])
+		}
+	}
+}
+
+func BenchmarkReferenceEncode(b *testing.B) {
+	r := rng.New(1)
+	d := unitDictionary(r, 64, 256)
+	sig := make([]float64, 64)
+	for i := range sig {
+		sig[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(d, sig, 0.1, 0)
+	}
+}
+
+func BenchmarkBatchEncode(b *testing.B) {
+	r := rng.New(1)
+	d := unitDictionary(r, 64, 256)
+	bc := NewBatchCoder(d)
+	ws := &Workspace{}
+	sig := make([]float64, 64)
+	for i := range sig {
+		sig[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Encode(sig, 0.1, 0, ws)
+	}
+}

@@ -1,0 +1,161 @@
+// Package perf implements the paper's performance quantification (§VI-B):
+// closed-form predictions of per-iteration runtime (Eq. 2), energy (Eq. 3),
+// and per-rank memory (Eq. 4) from the transform shape (M, N, L, nnz(C)) and
+// the platform's word-per-flop ratios. The tune package minimizes these
+// predictions over the dictionary size L; Fig. 8 validates them against the
+// measured cost of the simulated cluster.
+package perf
+
+import (
+	"math"
+
+	"extdict/internal/cluster"
+)
+
+// Objective selects which cost Eq. to optimize.
+type Objective int
+
+const (
+	// Runtime optimizes Eq. 2 (the default).
+	Runtime Objective = iota
+	// Energy optimizes Eq. 3.
+	Energy
+	// Memory optimizes Eq. 4.
+	Memory
+)
+
+// String renders the objective name.
+func (o Objective) String() string {
+	switch o {
+	case Runtime:
+		return "runtime"
+	case Energy:
+		return "energy"
+	case Memory:
+		return "memory"
+	}
+	return "unknown"
+}
+
+// Estimate is the predicted cost of one Gram-product iteration.
+type Estimate struct {
+	// FlopsCritical is the flop count on the slowest rank's path: the
+	// dictionary multiplies (not parallelizable across ranks — rank 0 does
+	// them in Case 1, everyone redundantly in Case 2) plus this rank's
+	// share of the sparse work.
+	FlopsCritical float64
+	// FlopsTotal is the total flops across ranks (drives energy).
+	FlopsTotal float64
+	// PathWords is the communicated words on the critical path:
+	// 2·min(M, L) per iteration, the paper's optimal bound.
+	PathWords float64
+	// TotalWords counts every word moved by every rank.
+	TotalWords float64
+	// Time is the Eq. 2 prediction in seconds (critical-path flops, words,
+	// and collective latency under the platform cost model).
+	Time float64
+	// EnergyJ is the Eq. 3 prediction in joules.
+	EnergyJ float64
+	// MemoryWordsPerRank is the Eq. 4 bound: M·L + nnz(C)/P + N/P.
+	MemoryWordsPerRank float64
+}
+
+// Cost returns the estimate's value under the chosen objective, in the
+// objective's natural unit (seconds, joules, or words).
+func (e Estimate) Cost(o Objective) float64 {
+	switch o {
+	case Energy:
+		return e.EnergyJ
+	case Memory:
+		return e.MemoryWordsPerRank
+	default:
+		return e.Time
+	}
+}
+
+// latencyTerm returns the collective-latency seconds for `phases`
+// reduce/broadcast rounds on the platform.
+func latencyTerm(plat cluster.Platform, phases float64) float64 {
+	p := plat.Topology.P()
+	hops := 1.0
+	if p > 1 {
+		hops = math.Ceil(math.Log2(float64(p)))
+	}
+	return phases * hops * plat.Latency()
+}
+
+// PredictTransformed predicts one iteration of Algorithm 2 on a transformed
+// pair with dictionary size l and nnz stored coefficients, for data shape
+// m×n on the platform. It mirrors the simulator's accounting exactly:
+//
+//	time ≈ (4·nnz/P + 4·M·L)·c_f + 2·min(M, L)·c_w + latency
+//
+// (4 = two sparse products and two dictionary products, each 2 flops per
+// multiply-add; the M·L term sits on the critical path in both cases —
+// rank 0 serially in Case 1, redundantly replicated in Case 2).
+func PredictTransformed(m, n, l, nnz int, plat cluster.Platform) Estimate {
+	p := float64(plat.Topology.P())
+	minML := float64(min(m, l))
+
+	sparseCritical := 4 * float64(nnz) / p
+	dictCritical := 4 * float64(m) * float64(l)
+	e := Estimate{
+		FlopsCritical: sparseCritical + dictCritical,
+		PathWords:     2 * minML,
+		TotalWords:    2 * minML * (p - 1),
+	}
+	// Total flops: sparse work once across ranks; dictionary work once in
+	// Case 1 (rank 0), P times in Case 2 (replicated).
+	dictTotal := dictCritical
+	if l > m {
+		dictTotal *= p
+	}
+	e.FlopsTotal = 4*float64(nnz) + dictTotal
+
+	c := plat.Cost
+	e.Time = e.FlopsCritical*c.FlopTime + e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
+	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
+	e.MemoryWordsPerRank = float64(m)*float64(l) + float64(nnz)/p + float64(n)/p
+	return e
+}
+
+// PredictDense predicts one iteration of the untransformed baseline
+// y = AᵀA·x with A column-partitioned: 4·M·N/P critical flops and 2·M
+// critical words.
+func PredictDense(m, n int, plat cluster.Platform) Estimate {
+	p := float64(plat.Topology.P())
+	e := Estimate{
+		FlopsCritical: 4 * float64(m) * float64(n) / p,
+		FlopsTotal:    4 * float64(m) * float64(n),
+		PathWords:     2 * float64(m),
+		TotalWords:    2 * float64(m) * (p - 1),
+	}
+	c := plat.Cost
+	e.Time = e.FlopsCritical*c.FlopTime + e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
+	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
+	e.MemoryWordsPerRank = float64(m) * float64(n) / p
+	return e
+}
+
+// PredictSGD predicts one SGD iteration with batch size b: 4·b·N/P critical
+// flops and 2·b critical words.
+func PredictSGD(n, batch int, plat cluster.Platform) Estimate {
+	p := float64(plat.Topology.P())
+	e := Estimate{
+		FlopsCritical: 4 * float64(batch) * float64(n) / p,
+		FlopsTotal:    4 * float64(batch) * float64(n),
+		PathWords:     2 * float64(batch),
+		TotalWords:    2 * float64(batch) * (p - 1),
+	}
+	c := plat.Cost
+	e.Time = e.FlopsCritical*c.FlopTime + e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
+	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
+	return e
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

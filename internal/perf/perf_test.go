@@ -1,0 +1,174 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/rng"
+)
+
+func TestObjectiveStrings(t *testing.T) {
+	if Runtime.String() != "runtime" || Energy.String() != "energy" || Memory.String() != "memory" {
+		t.Fatal("objective names wrong")
+	}
+	if Objective(99).String() != "unknown" {
+		t.Fatal("unknown objective not handled")
+	}
+}
+
+func TestCostSelectsObjective(t *testing.T) {
+	e := Estimate{Time: 1, EnergyJ: 2, MemoryWordsPerRank: 3}
+	if e.Cost(Runtime) != 1 || e.Cost(Energy) != 2 || e.Cost(Memory) != 3 {
+		t.Fatal("Cost dispatch wrong")
+	}
+}
+
+func TestPredictTransformedCommunicationBound(t *testing.T) {
+	plat := cluster.NewPlatform(2, 4)
+	e1 := PredictTransformed(100, 1000, 40, 5000, plat) // L < M
+	if e1.PathWords != 80 {
+		t.Fatalf("Case 1 words %v, want 80", e1.PathWords)
+	}
+	e2 := PredictTransformed(100, 1000, 300, 5000, plat) // L > M
+	if e2.PathWords != 200 {
+		t.Fatalf("Case 2 words %v, want 200", e2.PathWords)
+	}
+}
+
+func TestPredictTransformedMatchesSimulator(t *testing.T) {
+	// Fig. 8's claim: the closed-form Eq. 2 estimate tracks the simulated
+	// bulk-synchronous cost. With perfectly balanced flop counts they
+	// agree to within the load-imbalance slack of the nnz partition.
+	u, err := dataset.GenerateUnion(
+		dataset.UnionParams{M: 48, N: 400, Ks: []int{4, 5}}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{30, 120} {
+		tr, err := exd.Fit(u.A, exd.Params{L: l, Epsilon: 0.05, Seed: 2, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, plat := range cluster.PaperPlatforms()[:3] {
+			comm := cluster.NewComm(plat)
+			g, err := dist.NewExDGram(comm, tr.D, tr.C)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, 400)
+			for i := range x {
+				x[i] = 1
+			}
+			y := make([]float64, 400)
+			st := g.Apply(x, y)
+			pred := PredictTransformed(48, 400, l, tr.C.NNZ(), plat)
+
+			if math.Abs(pred.PathWords-float64(st.PathWords)) > 0 {
+				t.Fatalf("L=%d %s: predicted words %v, simulated %d",
+					l, plat.Topology, pred.PathWords, st.PathWords)
+			}
+			if math.Abs(pred.FlopsTotal-float64(st.TotalFlops))/pred.FlopsTotal > 1e-9 {
+				t.Fatalf("L=%d %s: predicted flops %v, simulated %d",
+					l, plat.Topology, pred.FlopsTotal, st.TotalFlops)
+			}
+			rel := math.Abs(pred.Time-st.ModeledTime) / st.ModeledTime
+			if rel > 0.25 { // nnz partition imbalance is the only slack
+				t.Fatalf("L=%d %s: predicted %v, simulated %v (rel %v)",
+					l, plat.Topology, pred.Time, st.ModeledTime, rel)
+			}
+		}
+	}
+}
+
+func TestPredictDenseMatchesSimulator(t *testing.T) {
+	u, err := dataset.GenerateUnion(
+		dataset.UnionParams{M: 40, N: 320, Ks: []int{4}}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := cluster.NewPlatform(2, 4)
+	comm := cluster.NewComm(plat)
+	g := dist.NewDenseGram(comm, u.A)
+	x := make([]float64, 320)
+	y := make([]float64, 320)
+	st := g.Apply(x, y)
+	pred := PredictDense(40, 320, plat)
+	if pred.PathWords != float64(st.PathWords) {
+		t.Fatalf("words %v vs %d", pred.PathWords, st.PathWords)
+	}
+	if pred.FlopsTotal != float64(st.TotalFlops) {
+		t.Fatalf("flops %v vs %d", pred.FlopsTotal, st.TotalFlops)
+	}
+	rel := math.Abs(pred.Time-st.ModeledTime) / st.ModeledTime
+	if rel > 0.05 {
+		t.Fatalf("time %v vs %v", pred.Time, st.ModeledTime)
+	}
+}
+
+func TestTransformedBeatsDenseWhenSparse(t *testing.T) {
+	// The headline trade: with nnz ≪ M·N, the transformed iteration must
+	// be predicted far cheaper than the dense one.
+	plat := cluster.NewPlatform(8, 8)
+	m, n := 200, 100000
+	dense := PredictDense(m, n, plat)
+	exdE := PredictTransformed(m, n, 400, 5*n, plat) // α = 5
+	if exdE.Time >= dense.Time {
+		t.Fatalf("transformed %v not cheaper than dense %v", exdE.Time, dense.Time)
+	}
+	if exdE.MemoryWordsPerRank >= dense.MemoryWordsPerRank {
+		t.Fatal("transformed memory not lower")
+	}
+}
+
+func TestCommunicationComputeTradeoff(t *testing.T) {
+	// Eq. 2's L trade-off: growing L raises communication (up to M) and
+	// dictionary flops; the model must be monotone in L for fixed nnz.
+	plat := cluster.NewPlatform(8, 8)
+	prev := 0.0
+	for _, l := range []int{50, 100, 200, 400} {
+		e := PredictTransformed(300, 50000, l, 200000, plat)
+		if e.Time <= prev {
+			t.Fatalf("cost not increasing in L at L=%d", l)
+		}
+		prev = e.Time
+	}
+}
+
+func TestPredictSGD(t *testing.T) {
+	plat := cluster.NewPlatform(2, 4)
+	e := PredictSGD(1000, 64, plat)
+	if e.PathWords != 128 {
+		t.Fatalf("SGD words %v", e.PathWords)
+	}
+	if e.FlopsTotal != 4*64*1000 {
+		t.Fatalf("SGD flops %v", e.FlopsTotal)
+	}
+	// SGD per-iteration must be cheaper than a dense full iteration.
+	if d := PredictDense(5000, 1000, plat); e.Time >= d.Time {
+		t.Fatal("SGD iteration not cheaper than dense")
+	}
+}
+
+func TestMemoryEquation(t *testing.T) {
+	plat := cluster.NewPlatform(8, 8) // P = 64
+	e := PredictTransformed(100, 6400, 50, 32000, plat)
+	want := 100.0*50 + 32000.0/64 + 6400.0/64
+	if e.MemoryWordsPerRank != want {
+		t.Fatalf("memory %v, want %v", e.MemoryWordsPerRank, want)
+	}
+}
+
+func TestSingleCoreNoCommTerm(t *testing.T) {
+	plat := cluster.NewPlatform(1, 1)
+	e := PredictTransformed(100, 1000, 50, 3000, plat)
+	// With P=1 the simulator still executes the collectives (they are
+	// no-ops data-wise) but the word term stays; what must vanish is the
+	// parallel speedup. Check flop terms dominate at this scale.
+	if e.FlopsCritical != 4*3000+4*100*50 {
+		t.Fatalf("critical flops %v", e.FlopsCritical)
+	}
+}

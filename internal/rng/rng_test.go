@@ -1,0 +1,211 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agree on %d/100 outputs", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	if v == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first output")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for n := 1; n <= 17; n++ {
+		seen := make([]bool, n)
+		for i := 0; i < 200*n; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("Intn(%d) never produced %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	for _, n := range []int{0, 1, 2, 5, 64, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSubsetProperties(t *testing.T) {
+	r := New(17)
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw) % (n + 1)
+		s := r.Subset(n, k)
+		if len(s) != k {
+			return false
+		}
+		for i, v := range s {
+			if v < 0 || v >= n {
+				return false
+			}
+			if i > 0 && s[i-1] >= v {
+				return false // must be strictly increasing (sorted, distinct)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetFull(t *testing.T) {
+	s := New(1).Subset(10, 10)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("Subset(10,10) = %v, want identity", s)
+		}
+	}
+}
+
+func TestSubsetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Subset(3,4) did not panic")
+		}
+	}()
+	New(1).Subset(3, 4)
+}
+
+func TestSubsetUniformity(t *testing.T) {
+	// Each index should appear with probability k/n.
+	r := New(23)
+	const n, k, trials = 20, 5, 20000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Subset(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("index %d chosen %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.NormFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,99 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+func elasticFixture(t *testing.T, seed uint64) (*mat.Dense, []float64) {
+	t.Helper()
+	r := rng.New(seed)
+	a := mat.NewDense(40, 20)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	return a, y
+}
+
+func TestElasticNetReducesToLasso(t *testing.T) {
+	a, y := elasticFixture(t, 1)
+	aty := a.MulVecT(y, nil)
+	y2 := mat.Dot(y, y)
+	las := Lasso(singleCoreOp(a), aty, y2, LassoOpts{Lambda: 0.2, MaxIters: 2000, Tol: 1e-10})
+	en := ElasticNet(singleCoreOp(a), aty, y2, ElasticNetOpts{Lambda1: 0.2, Lambda2: 0, MaxIters: 2000, Tol: 1e-10})
+	for i := range las.X {
+		if math.Abs(las.X[i]-en.X[i]) > 1e-4 {
+			t.Fatalf("λ₂=0 elastic net diverges from LASSO at %d: %v vs %v", i, en.X[i], las.X[i])
+		}
+	}
+}
+
+func TestElasticNetRidgeShrinks(t *testing.T) {
+	// Increasing λ₂ must shrink the solution norm.
+	a, y := elasticFixture(t, 2)
+	aty := a.MulVecT(y, nil)
+	y2 := mat.Dot(y, y)
+	prev := math.Inf(1)
+	for _, l2 := range []float64{0, 1, 10, 100} {
+		res := ElasticNet(singleCoreOp(a), aty, y2, ElasticNetOpts{Lambda1: 0, Lambda2: l2, MaxIters: 3000, Tol: 1e-12})
+		n := mat.Norm2(res.X)
+		if n > prev+1e-9 {
+			t.Fatalf("‖x‖ grew with λ₂=%v: %v > %v", l2, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestElasticNetOptimalityConditions(t *testing.T) {
+	// At the minimizer with λ₁=0: 2Aᵀ(Ax - y) + 2λ₂x = 0.
+	a, y := elasticFixture(t, 3)
+	aty := a.MulVecT(y, nil)
+	const l2 = 2.5
+	res := ElasticNet(singleCoreOp(a), aty, mat.Dot(y, y), ElasticNetOpts{
+		Lambda2: l2, MaxIters: 6000, Tol: 1e-13,
+	})
+	r := a.MulVec(res.X, nil)
+	mat.SubVec(r, r, y)
+	grad := a.MulVecT(r, nil)
+	for i := range grad {
+		grad[i] = 2*grad[i] + 2*l2*res.X[i]
+	}
+	if g := mat.NormInf(grad); g > 1e-2 {
+		t.Fatalf("KKT residual %v", g)
+	}
+}
+
+func TestElasticNetSparsityFromL1(t *testing.T) {
+	a, y := elasticFixture(t, 4)
+	aty := a.MulVecT(y, nil)
+	y2 := mat.Dot(y, y)
+	dense := ElasticNet(singleCoreOp(a), aty, y2, ElasticNetOpts{Lambda1: 0, Lambda2: 0.1, MaxIters: 1500})
+	sparse := ElasticNet(singleCoreOp(a), aty, y2, ElasticNetOpts{Lambda1: 5, Lambda2: 0.1, MaxIters: 1500})
+	nz := func(x []float64) int {
+		n := 0
+		for _, v := range x {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if nz(sparse.X) >= nz(dense.X) {
+		t.Fatalf("ℓ₁ did not sparsify: %d vs %d nonzeros", nz(sparse.X), nz(dense.X))
+	}
+}
+
+func TestElasticNetDefaults(t *testing.T) {
+	var o ElasticNetOpts
+	o.fill()
+	if o.MaxIters != 500 || o.LearningRate != 0.5 || o.Tol != 1e-6 {
+		t.Fatalf("defaults %+v", o)
+	}
+}

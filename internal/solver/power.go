@@ -1,0 +1,123 @@
+package solver
+
+import (
+	"math"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dist"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// PowerOpts configures a Power-method PCA run on the Gram matrix G = AᵀA.
+type PowerOpts struct {
+	// Components is the number of leading eigenpairs to extract
+	// (paper experiments: 10).
+	Components int
+	// MaxIters caps iterations per component (default 300).
+	MaxIters int
+	// Tol stops a component when the eigenvalue estimate's relative
+	// change falls below it (default 1e-8).
+	Tol float64
+	// Seed initializes the start vectors.
+	Seed uint64
+}
+
+func (o *PowerOpts) fill() {
+	if o.Components <= 0 {
+		o.Components = 1
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 300
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+}
+
+// PowerResult holds the extracted spectrum of G = AᵀA.
+type PowerResult struct {
+	// Eigenvalues of the Gram matrix, in decreasing order (these are the
+	// squared singular values of A).
+	Eigenvalues []float64
+	// Eigenvectors has one column per eigenvalue (N×k), orthonormal.
+	Eigenvectors *mat.Dense
+	// Iters is the total iteration count across all components.
+	Iters int
+	// Stats accumulates the distributed cost of every iteration.
+	Stats cluster.Stats
+}
+
+// PowerMethod extracts the leading eigenpairs of the Gram matrix behind op
+// with the classic iteration x ← G·x/‖G·x‖ (§VIII-A). After a component
+// converges, its contribution is deflated from the operator output
+// (equivalent to the paper's "subtract the found content from the data")
+// and the iteration restarts for the next component.
+func PowerMethod(op dist.Operator, opts PowerOpts) PowerResult {
+	opts.fill()
+	n := op.Dim()
+	res := PowerResult{Eigenvectors: mat.NewDense(n, opts.Components)}
+	r := rng.New(opts.Seed)
+
+	found := make([][]float64, 0, opts.Components)
+	vals := make([]float64, 0, opts.Components)
+
+	x := make([]float64, n)
+	gx := make([]float64, n)
+	for comp := 0; comp < opts.Components; comp++ {
+		// Random start, orthogonal to previously found components.
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		deflate(x, found)
+		normalize(x)
+
+		lambda, prev := 0.0, math.Inf(1)
+		for it := 0; it < opts.MaxIters; it++ {
+			st := op.Apply(x, gx)
+			res.Stats.Accumulate(st)
+			res.Iters++
+
+			// Remove converged components from the operator action: for an
+			// exact eigenpair (λ_i, v_i), projecting G·x off v_i subtracts
+			// λ_i·(v_iᵀx)·v_i — the paper's "subtract the found content".
+			deflate(gx, found)
+
+			lambda = mat.Norm2(gx)
+			if lambda == 0 {
+				break // null space reached: remaining eigenvalues are 0
+			}
+			for i := range x {
+				x[i] = gx[i] / lambda
+			}
+			if math.Abs(lambda-prev) <= opts.Tol*lambda {
+				break
+			}
+			prev = lambda
+		}
+		// Re-orthogonalize against earlier components to stop drift.
+		deflate(x, found)
+		normalize(x)
+
+		vec := mat.CopyVec(x)
+		found = append(found, vec)
+		vals = append(vals, lambda)
+		res.Eigenvalues = append(res.Eigenvalues, lambda)
+		res.Eigenvectors.SetCol(comp, vec)
+	}
+	return res
+}
+
+// deflate projects v off every found component.
+func deflate(v []float64, comps [][]float64) {
+	for _, c := range comps {
+		mat.Axpy(-mat.Dot(c, v), c, v)
+	}
+}
+
+func normalize(v []float64) {
+	n := mat.Norm2(v)
+	if n > 0 {
+		mat.ScaleVec(1/n, v)
+	}
+}

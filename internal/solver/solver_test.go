@@ -1,0 +1,296 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// orthonormalCols builds an m×k matrix with orthonormal columns.
+func orthonormalCols(r *rng.RNG, m, k int) *mat.Dense {
+	b := mat.NewDense(m, k)
+	col := make([]float64, m)
+	for j := 0; j < k; j++ {
+		for i := range col {
+			col[i] = r.NormFloat64()
+		}
+		for pass := 0; pass < 2; pass++ {
+			for q := 0; q < j; q++ {
+				var d float64
+				for i := 0; i < m; i++ {
+					d += col[i] * b.At(i, q)
+				}
+				for i := 0; i < m; i++ {
+					col[i] -= d * b.At(i, q)
+				}
+			}
+		}
+		mat.ScaleVec(1/mat.Norm2(col), col)
+		b.SetCol(j, col)
+	}
+	return b
+}
+
+// knownSpectrum builds A = U·diag(σ)·Vᵀ with prescribed singular values, so
+// AᵀA has eigenvalues σ² with eigenvectors the columns of V.
+func knownSpectrum(r *rng.RNG, m, n int, sigma []float64) (*mat.Dense, *mat.Dense) {
+	u := orthonormalCols(r, m, len(sigma))
+	v := orthonormalCols(r, n, len(sigma))
+	a := mat.NewDense(m, n)
+	for k, s := range sigma {
+		for i := 0; i < m; i++ {
+			ui := u.At(i, k) * s
+			if ui == 0 {
+				continue
+			}
+			row := a.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += ui * v.At(j, k)
+			}
+		}
+	}
+	return a, v
+}
+
+func singleCoreOp(a *mat.Dense) dist.Operator {
+	return dist.NewDenseGram(cluster.NewComm(cluster.NewPlatform(1, 1)), a)
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ v, thr, want float64 }{
+		{3, 1, 2}, {-3, 1, -2}, {0.5, 1, 0}, {-0.5, 1, 0}, {1, 1, 0}, {2, 0, 2},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.v, c.thr); got != c.want {
+			t.Fatalf("soft(%v,%v)=%v, want %v", c.v, c.thr, got, c.want)
+		}
+	}
+}
+
+func TestLassoUnregularizedSolvesLeastSquares(t *testing.T) {
+	// λ=0 reduces to least squares; with a consistent system the residual
+	// must vanish.
+	r := rng.New(1)
+	a := mat.NewDense(40, 12)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	xTrue := make([]float64, 12)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	y := a.MulVec(xTrue, nil)
+
+	res := Lasso(singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
+		Lambda: 0, MaxIters: 4000, Tol: 1e-14, LearningRate: 0.3,
+	})
+	rec := a.MulVec(res.X, nil)
+	diff := make([]float64, 40)
+	mat.SubVec(diff, rec, y)
+	if rel := mat.Norm2(diff) / mat.Norm2(y); rel > 1e-3 {
+		t.Fatalf("least-squares residual %v after %d iters", rel, res.Iters)
+	}
+}
+
+func TestLassoObjectiveMonotoneAtConvergence(t *testing.T) {
+	r := rng.New(2)
+	a := mat.NewDense(30, 20)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	y := make([]float64, 30)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	res := Lasso(singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
+		Lambda: 0.1, MaxIters: 800,
+	})
+	if len(res.History) < 2 {
+		t.Fatal("no history recorded")
+	}
+	// The tail of the history must be non-increasing (Adagrad can
+	// oscillate early; convergence demands eventual descent).
+	tail := res.History[len(res.History)/2:]
+	for i := 1; i < len(tail); i++ {
+		if tail[i] > tail[i-1]+1e-6*math.Abs(tail[i-1]) {
+			t.Fatalf("objective rose near convergence: %v -> %v", tail[i-1], tail[i])
+		}
+	}
+	if res.Objective < 0 {
+		t.Fatal("objective cannot be negative")
+	}
+}
+
+func TestLassoSparseRecovery(t *testing.T) {
+	// Classic compressed-sensing sanity check: recover a sparse x from
+	// overdetermined noiseless measurements with a small λ.
+	r := rng.New(3)
+	a := mat.NewDense(80, 40)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64() / math.Sqrt(80)
+	}
+	xTrue := make([]float64, 40)
+	xTrue[3], xTrue[17], xTrue[31] = 2, -1.5, 1
+	y := a.MulVec(xTrue, nil)
+
+	res := Lasso(singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
+		Lambda: 0.001, MaxIters: 5000, Tol: 1e-13,
+	})
+	for i, want := range xTrue {
+		if math.Abs(res.X[i]-want) > 0.05 {
+			t.Fatalf("x[%d]=%v, want %v (iters %d)", i, res.X[i], want, res.Iters)
+		}
+	}
+}
+
+func TestLassoOnExDOperatorMatchesDense(t *testing.T) {
+	// The framework claim: solving on (DC)ᵀDC with small ε lands close to
+	// the raw-data solution.
+	u, err := dataset.GenerateUnion(dataset.UnionParams{M: 32, N: 150, Ks: []int{4, 5}}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	y := make([]float64, 32)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	aty := u.A.MulVecT(y, nil)
+	y2 := mat.Dot(y, y)
+	opts := LassoOpts{Lambda: 0.05, MaxIters: 1500, Tol: 1e-12}
+
+	dense := Lasso(singleCoreOp(u.A), aty, y2, opts)
+
+	tr, err := exd.Fit(u.A, exd.Params{L: 90, Epsilon: 0.01, Seed: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dist.NewExDGram(cluster.NewComm(cluster.NewPlatform(1, 2)), tr.D, tr.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := Lasso(g, aty, y2, opts)
+
+	relObj := math.Abs(approx.Objective-dense.Objective) / math.Max(dense.Objective, 1e-12)
+	if relObj > 0.05 {
+		t.Fatalf("ExD objective %v vs dense %v (rel %v)",
+			approx.Objective, dense.Objective, relObj)
+	}
+}
+
+func TestLassoStatsAccumulate(t *testing.T) {
+	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 16, N: 60, Ks: []int{3}}, rng.New(7))
+	y := make([]float64, 16)
+	y[0] = 1
+	res := Lasso(singleCoreOp(u.A), u.A.MulVecT(y, nil), 1, LassoOpts{Lambda: 0.01, MaxIters: 25, Tol: 1e-30})
+	if res.Iters != 25 || res.Converged {
+		t.Fatalf("expected to exhaust iterations, got %d converged=%v", res.Iters, res.Converged)
+	}
+	if res.Stats.Phases != int64(25*2) {
+		t.Fatalf("phases %d, want %d", res.Stats.Phases, 50)
+	}
+	perIter := res.Stats.TotalFlops / 25
+	if perIter != 4*16*60 {
+		t.Fatalf("per-iteration flops %d", perIter)
+	}
+}
+
+func TestPowerMethodKnownSpectrum(t *testing.T) {
+	r := rng.New(8)
+	sigma := []float64{5, 3, 2, 1}
+	a, v := knownSpectrum(r, 30, 25, sigma)
+
+	res := PowerMethod(singleCoreOp(a), PowerOpts{Components: 4, Seed: 9})
+	if len(res.Eigenvalues) != 4 {
+		t.Fatalf("got %d eigenvalues", len(res.Eigenvalues))
+	}
+	for k, s := range sigma {
+		want := s * s
+		if math.Abs(res.Eigenvalues[k]-want)/want > 1e-4 {
+			t.Fatalf("eigenvalue %d = %v, want %v", k, res.Eigenvalues[k], want)
+		}
+		// Eigenvector matches ±v_k.
+		got := res.Eigenvectors.Col(k, nil)
+		dot := math.Abs(mat.Dot(got, v.Col(k, nil)))
+		if dot < 1-1e-4 {
+			t.Fatalf("eigenvector %d misaligned: |dot|=%v", k, dot)
+		}
+	}
+}
+
+func TestPowerMethodEigenvectorsOrthonormal(t *testing.T) {
+	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 24, N: 40, Ks: []int{5}}, rng.New(10))
+	res := PowerMethod(singleCoreOp(u.A), PowerOpts{Components: 5, Seed: 11})
+	for i := 0; i < 5; i++ {
+		vi := res.Eigenvectors.Col(i, nil)
+		for j := 0; j <= i; j++ {
+			d := mat.Dot(vi, res.Eigenvectors.Col(j, nil))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-6 {
+				t.Fatalf("vᵢᵀvⱼ(%d,%d)=%v", i, j, d)
+			}
+		}
+	}
+	// Eigenvalues decreasing.
+	for i := 1; i < 5; i++ {
+		if res.Eigenvalues[i] > res.Eigenvalues[i-1]+1e-9 {
+			t.Fatalf("eigenvalues not sorted: %v", res.Eigenvalues)
+		}
+	}
+}
+
+func TestPowerMethodOnExDCloseToDense(t *testing.T) {
+	// Fig. 12's quantity: eigenvalues from the transformed operator track
+	// the exact ones within the transformation error budget.
+	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 32, N: 120, Ks: []int{4, 4}}, rng.New(12))
+	exact := PowerMethod(singleCoreOp(u.A), PowerOpts{Components: 5, Seed: 13})
+
+	tr, err := exd.Fit(u.A, exd.Params{L: 80, Epsilon: 0.02, Seed: 14, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := dist.NewExDGram(cluster.NewComm(cluster.NewPlatform(1, 2)), tr.D, tr.C)
+	approx := PowerMethod(g, PowerOpts{Components: 5, Seed: 13})
+
+	var errSum, valSum float64
+	for k := range exact.Eigenvalues {
+		errSum += math.Abs(exact.Eigenvalues[k] - approx.Eigenvalues[k])
+		valSum += exact.Eigenvalues[k]
+	}
+	if errSum/valSum > 0.05 {
+		t.Fatalf("cumulative eigenvalue error %v", errSum/valSum)
+	}
+}
+
+func TestPowerMethodRankDeficient(t *testing.T) {
+	// Rank-2 data: third eigenvalue must be ~0 and the solver must not
+	// spin forever on the null space.
+	r := rng.New(15)
+	a, _ := knownSpectrum(r, 20, 15, []float64{4, 2})
+	res := PowerMethod(singleCoreOp(a), PowerOpts{Components: 3, Seed: 16, MaxIters: 100})
+	if res.Eigenvalues[2] > 1e-6 {
+		t.Fatalf("phantom eigenvalue %v", res.Eigenvalues[2])
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	var lo LassoOpts
+	lo.fill()
+	if lo.MaxIters != 500 || lo.LearningRate != 0.5 || lo.Tol != 1e-6 {
+		t.Fatalf("lasso defaults %+v", lo)
+	}
+	var po PowerOpts
+	po.fill()
+	if po.Components != 1 || po.MaxIters != 300 || po.Tol != 1e-8 {
+		t.Fatalf("power defaults %+v", po)
+	}
+}

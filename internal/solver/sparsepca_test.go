@@ -1,0 +1,131 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// sparseSpectrumData builds A whose leading right singular vectors are
+// exactly k-sparse, so the truncated power method can recover them.
+func sparseSpectrumData(r *rng.RNG, m, n, card int, sigma []float64) (*mat.Dense, *mat.Dense) {
+	u := orthonormalCols(r, m, len(sigma))
+	// Sparse, disjoint-support right vectors: component i occupies
+	// indices [i*card, (i+1)*card).
+	v := mat.NewDense(n, len(sigma))
+	for k := range sigma {
+		nrm := 0.0
+		vals := make([]float64, card)
+		for j := range vals {
+			vals[j] = 1 + r.Float64()
+			nrm += vals[j] * vals[j]
+		}
+		nrm = math.Sqrt(nrm)
+		for j, val := range vals {
+			v.Set(k*card+j, k, val/nrm)
+		}
+	}
+	a := mat.NewDense(m, n)
+	for k, s := range sigma {
+		for i := 0; i < m; i++ {
+			ui := u.At(i, k) * s
+			if ui == 0 {
+				continue
+			}
+			row := a.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += ui * v.At(j, k)
+			}
+		}
+	}
+	return a, v
+}
+
+func TestSparsePCARecoversSupports(t *testing.T) {
+	r := rng.New(71)
+	const card = 5
+	sigma := []float64{6, 4, 2}
+	a, v := sparseSpectrumData(r, 40, 30, card, sigma)
+
+	res := SparsePCA(singleCoreOp(a), SparsePCAOpts{
+		Components: 3, Cardinality: card, Seed: 72,
+	})
+	if len(res.Variances) != 3 {
+		t.Fatalf("got %d components", len(res.Variances))
+	}
+	for k, s := range sigma {
+		want := s * s
+		if math.Abs(res.Variances[k]-want)/want > 1e-3 {
+			t.Fatalf("component %d variance %v, want %v", k, res.Variances[k], want)
+		}
+		got := res.Components.Col(k, nil)
+		// Support must match the planted one.
+		nz := 0
+		for j, val := range got {
+			if val != 0 {
+				nz++
+				if j < k*card || j >= (k+1)*card {
+					t.Fatalf("component %d has a loading outside its support at %d", k, j)
+				}
+			}
+		}
+		if nz == 0 || nz > card {
+			t.Fatalf("component %d has %d nonzeros, cap %d", k, nz, card)
+		}
+		if d := math.Abs(mat.Dot(got, v.Col(k, nil))); d < 1-1e-3 {
+			t.Fatalf("component %d misaligned: |dot|=%v", k, d)
+		}
+	}
+}
+
+func TestSparsePCACardinalityRespected(t *testing.T) {
+	r := rng.New(73)
+	a := mat.NewDense(25, 40)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for _, card := range []int{1, 3, 10} {
+		res := SparsePCA(singleCoreOp(a), SparsePCAOpts{
+			Components: 2, Cardinality: card, Seed: 74,
+		})
+		for k := 0; k < 2; k++ {
+			nz := 0
+			for _, v := range res.Components.Col(k, nil) {
+				if v != 0 {
+					nz++
+				}
+			}
+			if nz > card {
+				t.Fatalf("cardinality %d violated: %d nonzeros", card, nz)
+			}
+		}
+	}
+}
+
+func TestSparsePCAFullCardinalityMatchesPower(t *testing.T) {
+	// With Cardinality = N the truncation is a no-op and the leading
+	// variance must match the dense Power method's eigenvalue.
+	r := rng.New(75)
+	a, _ := knownSpectrum(r, 30, 20, []float64{5, 3})
+	dense := PowerMethod(singleCoreOp(a), PowerOpts{Components: 1, Seed: 76})
+	sp := SparsePCA(singleCoreOp(a), SparsePCAOpts{Components: 1, Cardinality: 20, Seed: 76})
+	if math.Abs(dense.Eigenvalues[0]-sp.Variances[0])/dense.Eigenvalues[0] > 1e-6 {
+		t.Fatalf("variance %v, eigenvalue %v", sp.Variances[0], dense.Eigenvalues[0])
+	}
+}
+
+func TestSparsePCAUnitNormComponents(t *testing.T) {
+	r := rng.New(77)
+	a := mat.NewDense(20, 25)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	res := SparsePCA(singleCoreOp(a), SparsePCAOpts{Components: 3, Cardinality: 4, Seed: 78})
+	for k := 0; k < 3; k++ {
+		if n := mat.Norm2(res.Components.Col(k, nil)); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("component %d norm %v", k, n)
+		}
+	}
+}

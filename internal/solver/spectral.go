@@ -1,0 +1,227 @@
+package solver
+
+import (
+	"math"
+
+	"extdict/internal/dist"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// SpectralOpts configures spectral partitioning of the data columns — an
+// application the paper lists for the Power method (§II-A). Columns are
+// embedded by the top eigenvectors of the Gram matrix AᵀA (the similarity
+// structure) and clustered with k-means on the sign-canonicalized,
+// row-normalized embedding.
+//
+// Scope: the method recovers direction clusters — groups of columns aligned
+// with a common direction up to sign and noise (rank-1 subspaces, the
+// geometry of the paper's Fig. 2 example). Higher-dimensional subspaces
+// spread over great circles of the embedding sphere and need a dedicated
+// subspace-clustering step on top.
+type SpectralOpts struct {
+	// Clusters is k, the number of groups to form.
+	Clusters int
+	// EmbedDim is the number of Gram eigenvectors to embed with
+	// (default: Clusters).
+	EmbedDim int
+	// PowerOpts tunes the underlying eigensolver; Components is
+	// overridden with EmbedDim.
+	Power PowerOpts
+	// KMeansIters caps Lloyd iterations (default 50).
+	KMeansIters int
+	// Restarts runs k-means this many times with different seedings and
+	// keeps the best (default 4).
+	Restarts int
+	// Seed drives k-means initialization.
+	Seed uint64
+}
+
+func (o *SpectralOpts) fill() {
+	if o.Clusters < 1 {
+		o.Clusters = 2
+	}
+	if o.EmbedDim <= 0 {
+		o.EmbedDim = o.Clusters
+	}
+	if o.KMeansIters <= 0 {
+		o.KMeansIters = 50
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 4
+	}
+}
+
+// SpectralResult is a clustering of the operator's columns.
+type SpectralResult struct {
+	// Assign maps each column to its cluster in [0, Clusters).
+	Assign []int
+	// Inertia is the final k-means objective (sum of squared distances to
+	// centroids) on the spectral embedding.
+	Inertia float64
+	// Eigen is the underlying Power-method result (eigenvalues, vectors,
+	// distributed cost).
+	Eigen PowerResult
+}
+
+// SpectralCluster embeds the columns with the top eigenvectors of the Gram
+// operator and clusters the rows of the (row-normalized) embedding.
+func SpectralCluster(op dist.Operator, opts SpectralOpts) SpectralResult {
+	opts.fill()
+	p := opts.Power
+	p.Components = opts.EmbedDim
+	if p.Seed == 0 {
+		p.Seed = opts.Seed + 1
+	}
+	eig := PowerMethod(op, p)
+
+	n := op.Dim()
+	k := opts.Clusters
+	// Embedding: row i of the eigenvector matrix, row-normalized (the
+	// standard spectral-clustering projection onto the unit sphere).
+	emb := mat.NewDense(n, opts.EmbedDim)
+	for i := 0; i < n; i++ {
+		row := emb.Row(i)
+		for j := 0; j < opts.EmbedDim; j++ {
+			row[j] = eig.Eigenvectors.At(i, j)
+		}
+		if nrm := mat.Norm2(row); nrm > 0 {
+			mat.ScaleVec(1/nrm, row)
+		}
+		// Sign canonicalization: a column and its negation carry the same
+		// cluster identity (the Gram similarity is quadratic in sign), so
+		// flip each row to make its largest-magnitude coordinate positive.
+		canonicalizeSign(row)
+	}
+
+	r := rng.New(opts.Seed)
+	best := SpectralResult{Inertia: math.Inf(1), Eigen: eig}
+	for restart := 0; restart < opts.Restarts; restart++ {
+		assign, inertia := kmeans(emb, k, opts.KMeansIters, r)
+		if inertia < best.Inertia {
+			best.Assign, best.Inertia = assign, inertia
+		}
+	}
+	return best
+}
+
+// kmeans is Lloyd's algorithm with k-means++ seeding on the rows of emb.
+func kmeans(emb *mat.Dense, k, maxIters int, r *rng.RNG) ([]int, float64) {
+	n, d := emb.Rows, emb.Cols
+	if k > n {
+		k = n
+	}
+	centers := kmeansppInit(emb, k, r)
+	assign := make([]int, n)
+	counts := make([]int, k)
+
+	for it := 0; it < maxIters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			bi, bd := 0, math.Inf(1)
+			row := emb.Row(i)
+			for c := 0; c < k; c++ {
+				dd := sqDist(row, centers.Row(c))
+				if dd < bd {
+					bi, bd = c, dd
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute centroids.
+		for i := range centers.Data {
+			centers.Data[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			mat.Axpy(1, emb.Row(i), centers.Row(c))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers.Row(c), emb.Row(r.Intn(n)))
+				continue
+			}
+			mat.ScaleVec(1/float64(counts[c]), centers.Row(c))
+		}
+	}
+
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		inertia += sqDist(emb.Row(i), centers.Row(assign[i]))
+	}
+	_ = d
+	return assign, inertia
+}
+
+// kmeansppInit draws k initial centers with the k-means++ distribution.
+func kmeansppInit(emb *mat.Dense, k int, r *rng.RNG) *mat.Dense {
+	n := emb.Rows
+	centers := mat.NewDense(k, emb.Cols)
+	copy(centers.Row(0), emb.Row(r.Intn(n)))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(emb.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		pick := 0
+		if total > 0 {
+			u := r.Float64() * total
+			acc := 0.0
+			for i, v := range d2 {
+				acc += v
+				if acc >= u {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = r.Intn(n)
+		}
+		copy(centers.Row(c), emb.Row(pick))
+		for i := range d2 {
+			if dd := sqDist(emb.Row(i), centers.Row(c)); dd < d2[i] {
+				d2[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+// canonicalizeSign flips v so its largest-magnitude entry is positive.
+func canonicalizeSign(v []float64) {
+	bi, bv := -1, 0.0
+	for i, x := range v {
+		if a := math.Abs(x); a > bv {
+			bi, bv = i, a
+		}
+	}
+	if bi >= 0 && v[bi] < 0 {
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// clusterAgreement measures how well assign matches truth up to label
+// permutation: the fraction of pairs (i, j) on which the two clusterings
+// agree about "same cluster vs different cluster" (Rand index).
+func clusterAgreement(assign, truth []int) float64 {
+	n := len(assign)
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			same1 := assign[i] == assign[j]
+			same2 := truth[i] == truth[j]
+			if same1 == same2 {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+// wellSeparatedUnion makes a union of rank-1 subspaces (direction
+// clusters, the paper's Fig. 2 geometry): the setting SpectralCluster is
+// scoped to.
+func wellSeparatedUnion(t *testing.T, seed uint64) *dataset.Union {
+	t.Helper()
+	u, err := dataset.GenerateUnion(dataset.UnionParams{
+		M: 48, N: 240, Ks: []int{1, 1, 1}, NoiseSigma: 0.01,
+	}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestSpectralClusterRecoversSubspaces(t *testing.T) {
+	u := wellSeparatedUnion(t, 81)
+	res := SpectralCluster(singleCoreOp(u.A), SpectralOpts{
+		Clusters: 3, Seed: 82,
+	})
+	if len(res.Assign) != 240 {
+		t.Fatalf("assignment length %d", len(res.Assign))
+	}
+	if got := clusterAgreement(res.Assign, u.Membership); got < 0.9 {
+		t.Fatalf("Rand agreement %v with ground truth", got)
+	}
+	if res.Inertia < 0 {
+		t.Fatal("negative inertia")
+	}
+}
+
+func TestSpectralClusterOnExDOperator(t *testing.T) {
+	// The framework claim again: clustering through the transformed
+	// operator matches clustering through the raw one.
+	u := wellSeparatedUnion(t, 83)
+	tr, err := exd.Fit(u.A, exd.Params{L: 120, Epsilon: 0.02, Seed: 84, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := dist.NewExDGram(cluster.NewComm(cluster.NewPlatform(1, 2)), tr.D, tr.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SpectralCluster(op, SpectralOpts{Clusters: 3, Seed: 85})
+	if got := clusterAgreement(res.Assign, u.Membership); got < 0.85 {
+		t.Fatalf("Rand agreement %v through ExD operator", got)
+	}
+}
+
+func TestSpectralClusterAssignmentsInRange(t *testing.T) {
+	u := wellSeparatedUnion(t, 86)
+	res := SpectralCluster(singleCoreOp(u.A), SpectralOpts{Clusters: 4, Seed: 87})
+	for i, c := range res.Assign {
+		if c < 0 || c >= 4 {
+			t.Fatalf("column %d assigned to %d", i, c)
+		}
+	}
+}
+
+func TestSpectralClusterDefaults(t *testing.T) {
+	var o SpectralOpts
+	o.fill()
+	if o.Clusters != 2 || o.EmbedDim != 2 || o.KMeansIters != 50 || o.Restarts != 4 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	// k larger than the point count must not crash; identical points must
+	// yield zero inertia.
+	r := rng.New(88)
+	emb := matFromRows([][]float64{{1, 0}, {1, 0}, {1, 0}})
+	assign, inertia := kmeans(emb, 5, 10, r)
+	if len(assign) != 3 || inertia != 0 {
+		t.Fatalf("degenerate kmeans: %v %v", assign, inertia)
+	}
+}
+
+// matFromRows builds a dense matrix from row slices (test helper).
+func matFromRows(rows [][]float64) *mat.Dense {
+	m := mat.NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}

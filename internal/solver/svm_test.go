@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// separableData builds two well-separated clouds of unit-norm columns with
+// ±1 labels: each class scatters tightly around its own direction, and the
+// two directions are orthogonal, so a linear separator exists with margin.
+func separableData(r *rng.RNG, m, n int) (*mat.Dense, []float64) {
+	u1 := make([]float64, m)
+	u2 := make([]float64, m)
+	for i := range u1 {
+		u1[i] = r.NormFloat64()
+		u2[i] = r.NormFloat64()
+	}
+	mat.ScaleVec(1/mat.Norm2(u1), u1)
+	// Make u2 orthogonal to u1 so the classes are well separated.
+	mat.Axpy(-mat.Dot(u1, u2), u1, u2)
+	mat.ScaleVec(1/mat.Norm2(u2), u2)
+
+	a := mat.NewDense(m, n)
+	labels := make([]float64, n)
+	col := make([]float64, m)
+	for j := 0; j < n; j++ {
+		base := u1
+		labels[j] = 1
+		if j%2 == 1 {
+			base = u2
+			labels[j] = -1
+		}
+		for i := range col {
+			col[i] = base[i] + 0.05*r.NormFloat64()
+		}
+		mat.ScaleVec(1/mat.Norm2(col), col)
+		a.SetCol(j, col)
+	}
+	return a, labels
+}
+
+func trainAccuracy(labels, margins []float64) float64 {
+	correct := 0
+	for i, y := range labels {
+		if y*margins[i] > 0 {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+func TestSVMSeparatesClasses(t *testing.T) {
+	r := rng.New(101)
+	a, labels := separableData(r, 30, 120)
+	res := SVM(singleCoreOp(a), labels, SVMOpts{C: 10, MaxIters: 2000, Seed: 102})
+	if acc := trainAccuracy(labels, res.Margins); acc < 0.99 {
+		t.Fatalf("training accuracy %v", acc)
+	}
+	if res.SupportVectors == 0 || res.SupportVectors > 120 {
+		t.Fatalf("support vectors %d", res.SupportVectors)
+	}
+	if res.Objective <= 0 {
+		t.Fatalf("dual objective %v", res.Objective)
+	}
+}
+
+func TestSVMBoxConstraints(t *testing.T) {
+	r := rng.New(103)
+	a, labels := separableData(r, 20, 60)
+	const c = 0.5
+	res := SVM(singleCoreOp(a), labels, SVMOpts{C: c, MaxIters: 800, Seed: 104})
+	for i, al := range res.Alpha {
+		if al < 0 || al > c+1e-12 {
+			t.Fatalf("alpha[%d]=%v outside [0,%v]", i, al, c)
+		}
+	}
+}
+
+func TestSVMKKTInteriorPoints(t *testing.T) {
+	// KKT: for 0 < αᵢ < C, the functional margin yᵢ·f(xᵢ) ≈ 1.
+	r := rng.New(105)
+	a, labels := separableData(r, 24, 80)
+	const c = 5.0
+	res := SVM(singleCoreOp(a), labels, SVMOpts{C: c, MaxIters: 6000, Tol: 1e-12, Seed: 106})
+	checked := 0
+	for i, al := range res.Alpha {
+		if al > 1e-4*c && al < c*(1-1e-4) {
+			m := labels[i] * res.Margins[i]
+			if math.Abs(m-1) > 0.05 {
+				t.Fatalf("interior point %d has margin %v, want ~1", i, m)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no interior support vectors in this draw")
+	}
+}
+
+func TestSVMWeightsClassify(t *testing.T) {
+	r := rng.New(107)
+	a, labels := separableData(r, 30, 100)
+	res := SVM(singleCoreOp(a), labels, SVMOpts{C: 10, MaxIters: 2000, Seed: 108})
+	w := SVMWeights(a, labels, res)
+	// The primal weights must classify the training columns identically
+	// to the dual margins: wᵀa_j == (K(α∘y))_j up to numerics.
+	col := make([]float64, 30)
+	for j := 0; j < 100; j++ {
+		a.Col(j, col)
+		f := mat.Dot(w, col)
+		if math.Abs(f-res.Margins[j]) > 1e-8 {
+			t.Fatalf("primal/dual margin mismatch at %d: %v vs %v", j, f, res.Margins[j])
+		}
+	}
+}
+
+func TestSVMOnExDOperator(t *testing.T) {
+	// Framework claim: the SVM trained through the transformed operator
+	// matches the raw one on classification.
+	r := rng.New(109)
+	a, labels := separableData(r, 32, 150)
+	raw := SVM(singleCoreOp(a), labels, SVMOpts{C: 10, MaxIters: 1500, Seed: 110})
+
+	tr, err := exd.Fit(a, exd.Params{L: 90, Epsilon: 0.02, Seed: 111, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := dist.NewExDGram(cluster.NewComm(cluster.NewPlatform(1, 2)), tr.D, tr.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := SVM(op, labels, SVMOpts{C: 10, MaxIters: 1500, Seed: 110})
+	if acc := trainAccuracy(labels, fast.Margins); acc < 0.99 {
+		t.Fatalf("transformed SVM accuracy %v", acc)
+	}
+	relObj := math.Abs(raw.Objective-fast.Objective) / raw.Objective
+	if relObj > 0.1 {
+		t.Fatalf("dual objectives diverge: %v vs %v", raw.Objective, fast.Objective)
+	}
+}
+
+func TestSVMRejectsBadLabels(t *testing.T) {
+	r := rng.New(112)
+	a, labels := separableData(r, 10, 20)
+	labels[3] = 0.5
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-±1 label accepted")
+		}
+	}()
+	SVM(singleCoreOp(a), labels, SVMOpts{})
+}
+
+func TestSVMDefaults(t *testing.T) {
+	var o SVMOpts
+	o.fill()
+	if o.C != 1 || o.MaxIters != 500 || o.Tol != 1e-7 {
+		t.Fatalf("defaults %+v", o)
+	}
+}

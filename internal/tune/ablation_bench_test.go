@@ -1,0 +1,68 @@
+package tune
+
+// Ablation: subset-based tuning (§VII) versus the Brute Force the paper
+// rules out — fitting ExD on the FULL data at every candidate L. Both end
+// at the same selected L on union-of-subspaces data; the subset tuner gets
+// there at a fraction of the cost, which is exactly the point of Fig. 6 and
+// Table II.
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/exd"
+	"extdict/internal/perf"
+	"extdict/internal/rng"
+)
+
+func benchData(b *testing.B) *dataset.Union {
+	b.Helper()
+	u, err := dataset.GenerateUnion(
+		dataset.UnionParams{M: 64, N: 8192, Ks: []int{3, 4, 5}}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+func BenchmarkAblationSubsetTuning(b *testing.B) {
+	u := benchData(b)
+	plat := cluster.NewPlatform(2, 8)
+	for i := 0; i < b.N; i++ {
+		res, err := Tune(u.A, plat, Config{Epsilon: 0.1, Workers: 2, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Best.L), "chosen-L")
+		}
+	}
+}
+
+func BenchmarkAblationBruteForceTuning(b *testing.B) {
+	u := benchData(b)
+	plat := cluster.NewPlatform(2, 8)
+	lMin := EstimateLMin(u.A, 0.1, 3)
+	grid := GeometricGrid(lMin+lMin/8+1, u.A.Cols, 8)
+	for i := 0; i < b.N; i++ {
+		bestL, bestCost := 0, math.Inf(1)
+		for _, l := range grid {
+			tr, err := exd.Fit(u.A, exd.Params{L: l, Epsilon: 0.1, Workers: 2, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tr.RelError(u.A) > 0.1*1.05 {
+				continue
+			}
+			cost := perf.PredictTransformed(u.A.Rows, u.A.Cols, l, tr.C.NNZ(), plat).Time
+			if cost < bestCost {
+				bestL, bestCost = l, cost
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(float64(bestL), "chosen-L")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package tune
+
+import (
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// EstimateLMin estimates the minimal basis size meeting the relative error
+// eps on the data: it counts how many randomly ordered columns an
+// incremental orthogonal projection needs before the residual energy falls
+// below eps²·‖A‖_F². This is the knee of the α(L) curve (the paper's L_min,
+// ≈175 for its Salinas example) and anchors the tuner's automatic L grid —
+// dictionary sizes below it cannot meet the error criterion, sizes at it
+// match RankMap's minimal basis.
+func EstimateLMin(a *mat.Dense, eps float64, seed uint64) int {
+	r := rng.New(seed)
+	order := r.Perm(a.Cols)
+	m := a.Rows
+	res2 := make([]float64, a.Cols)
+	var total float64
+	col := make([]float64, m)
+	for j := 0; j < a.Cols; j++ {
+		a.Col(j, col)
+		res2[j] = mat.Dot(col, col)
+		total += res2[j]
+	}
+	target := eps * eps * total
+	remaining := total
+	var q [][]float64
+	picked := 0
+	proj := make([]float64, m)
+	maxL := m + 16
+	if maxL > a.Cols {
+		maxL = a.Cols
+	}
+	for _, k := range order {
+		if remaining <= target || picked >= maxL {
+			break
+		}
+		if res2[k] <= 0 {
+			continue
+		}
+		a.Col(k, proj)
+		for pass := 0; pass < 2; pass++ {
+			for _, qv := range q {
+				mat.Axpy(-mat.Dot(qv, proj), qv, proj)
+			}
+		}
+		n := mat.Norm2(proj)
+		if n < 1e-10 {
+			res2[k] = 0
+			continue
+		}
+		mat.ScaleVec(1/n, proj)
+		qv := mat.CopyVec(proj)
+		q = append(q, qv)
+		picked++
+		dots := a.MulVecT(qv, nil)
+		remaining = 0
+		for j := range res2 {
+			res2[j] -= dots[j] * dots[j]
+			if res2[j] < 0 {
+				res2[j] = 0
+			}
+			remaining += res2[j]
+		}
+	}
+	return picked
+}

@@ -1,0 +1,57 @@
+package extdict
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"extdict/internal/exd"
+)
+
+// WriteTo serializes the fitted model's transform (dictionary, sparse
+// coefficients, fit parameters) in a compact binary format. Preprocessing
+// is ExtDict's expensive one-time step; serializing it lets a deployment
+// fit once and ship the transform to every compute job.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	return m.transform.WriteTo(w)
+}
+
+// Save writes the model's transform to a file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := m.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadModel deserializes a transform written by WriteTo/Save and binds it
+// to the given execution platform.
+func ReadModel(r io.Reader, platform Platform) (*Model, error) {
+	if err := platform.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := exd.ReadTransform(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{transform: tr, platform: platform}, nil
+}
+
+// LoadModel reads a model file saved by Save.
+func LoadModel(path string, platform Platform) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadModel(f, platform)
+	if err != nil {
+		return nil, fmt.Errorf("extdict: loading %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,76 @@
+package extdict
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	data := demoData(t, 24, 150, 30)
+	plat := NewPlatform(2, 2)
+	model, err := Fit(data, plat, Options{Epsilon: 0.08, L: 70, Workers: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "model.exd")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.L() != model.L() || loaded.NNZ() != model.NNZ() || loaded.Alpha() != model.Alpha() {
+		t.Fatal("model statistics changed through save/load")
+	}
+	if loaded.RelError(data) != model.RelError(data) {
+		t.Fatal("reconstruction changed through save/load")
+	}
+
+	// The loaded model must produce an identical distributed operator.
+	op1, err := model.GramOperator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := loaded.GramOperator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 150)
+	x[3], x[77] = 1, -2
+	y1 := make([]float64, 150)
+	y2 := make([]float64, 150)
+	op1.Apply(x, y1)
+	op2.Apply(x, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("operators diverge after round trip")
+		}
+	}
+}
+
+func TestReadModelValidation(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte("junk")), NewPlatform(1, 1)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	data := demoData(t, 12, 40, 32)
+	model, err := Fit(data, NewPlatform(1, 1), Options{Epsilon: 0.1, L: 20, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := model.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf, Platform{}); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/model.exd", NewPlatform(1, 1)); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
