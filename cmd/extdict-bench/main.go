@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"extdict/internal/perf"
 )
 
 func main() {
@@ -56,13 +58,13 @@ func run(args []string) error {
 
 	cfg := benchConfig{Scale: *scale, Seed: *seed, Workers: *workers}
 	for _, id := range ids {
-		start := time.Now()
+		sw := perf.StartWall()
 		table, err := reg[id](cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(table)
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", id, sw.Elapsed().Round(time.Millisecond))
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+// Command extdict-lint runs the project's invariant analyzers (package
+// extdict/internal/lint) over the repository and exits nonzero on any
+// finding. It is stdlib-only and wired into scripts/ci.sh as a build gate.
+//
+// Usage:
+//
+//	extdict-lint [-json] [-checks norand,noclock] [packages...]
+//
+// Package patterns follow the go tool's shape ("./...", "./internal/dist")
+// and are resolved relative to the module root; the default is the whole
+// module. Suppress individual findings with
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line above it. -list prints the analyzer
+// suite with the invariant each check enforces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"extdict/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("extdict-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *checks != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "extdict-lint: unknown check %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "extdict-lint:", err)
+		return 2
+	}
+	root, module, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "extdict-lint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(root, module, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "extdict-lint:", err)
+		return 2
+	}
+
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, lint.Run(pkg, analyzers)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "extdict-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stdout, "extdict-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

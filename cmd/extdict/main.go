@@ -137,7 +137,7 @@ func cmdTune(args []string) error {
 		return err
 	}
 	plat := cluster.NewPlatform(*nodes, *cores)
-	start := time.Now()
+	sw := perf.StartWall()
 	res, err := tune.Tune(a, plat, tune.Config{
 		Epsilon: *eps, Objective: obj, Workers: runtime.GOMAXPROCS(0), Seed: *seed,
 	})
@@ -145,7 +145,7 @@ func cmdTune(args []string) error {
 		return err
 	}
 	fmt.Printf("tuned for %s (%s objective) in %v over %d subset rounds %v\n",
-		plat.Topology, obj, time.Since(start).Round(time.Millisecond), res.Rounds, res.SubsetSizes)
+		plat.Topology, obj, sw.Elapsed().Round(time.Millisecond), res.Rounds, res.SubsetSizes)
 	fmt.Printf("%-7s %-9s %-9s %-9s %-12s %s\n", "L", "alpha", "feasible", "error", "pred-cost", "")
 	for _, c := range res.Candidates {
 		marker := ""
@@ -189,7 +189,7 @@ func cmdFit(args []string) error {
 		return err
 	}
 	plat := cluster.NewPlatform(*nodes, *cores)
-	start := time.Now()
+	sw := perf.StartWall()
 	var tr *exd.Transform
 	if *l > 0 {
 		tr, err = exd.Fit(a, exd.Params{L: *l, Epsilon: *eps, Workers: runtime.GOMAXPROCS(0), Seed: *seed})
@@ -201,7 +201,7 @@ func cmdFit(args []string) error {
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	elapsed := sw.Elapsed()
 	fmt.Printf("fitted in %v: L=%d nnz(C)=%d alpha=%.3f achieved-error=%.4f memory=%d words (raw %d)\n",
 		elapsed.Round(time.Millisecond), tr.L(), tr.C.NNZ(), tr.Alpha(),
 		tr.RelError(a), tr.MemoryWords(), a.Rows*a.Cols)

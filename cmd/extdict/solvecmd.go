@@ -10,6 +10,7 @@ import (
 	"extdict/internal/dist"
 	"extdict/internal/mat"
 	"extdict/internal/matio"
+	"extdict/internal/perf"
 	"extdict/internal/solver"
 	"extdict/internal/tune"
 )
@@ -51,7 +52,7 @@ func cmdLasso(args []string) error {
 	if *lambda <= 0 {
 		*lambda = 0.05 * mat.NormInf(a.MulVecT(y, nil))
 	}
-	start := time.Now()
+	sw := perf.StartWall()
 	res := solver.Lasso(op, a.MulVecT(y, nil), mat.Dot(y, y), solver.LassoOpts{
 		Lambda: *lambda, MaxIters: *iters,
 	})
@@ -64,7 +65,7 @@ func cmdLasso(args []string) error {
 	fmt.Printf("%s on %s: %d iters (converged=%v), objective %.6g, %d/%d nonzeros\n",
 		op.Name(), plat.Topology, res.Iters, res.Converged, res.Objective, nz, len(res.X))
 	fmt.Printf("modeled time %.3f ms, wall %v\n",
-		res.Stats.ModeledTime*1e3, time.Since(start).Round(time.Microsecond))
+		res.Stats.ModeledTime*1e3, sw.Elapsed().Round(time.Microsecond))
 	if *out != "" {
 		xm := mat.NewDenseData(len(res.X), 1, res.X)
 		if err := matio.Save(*out, xm); err != nil {

@@ -89,6 +89,13 @@ type Comm struct {
 	totalWords int64
 	phases     int64
 	modeled    float64
+
+	// aborted flips when any rank's body panics (or a collective detects
+	// misuse); failure records the first panic value. Blocked ranks are
+	// released with the same failure so a bad Run dies loudly instead of
+	// deadlocking, and Run re-panics with it on the caller's goroutine.
+	aborted bool
+	failure any
 }
 
 type collKind uint8
@@ -126,6 +133,14 @@ func (c *Comm) Platform() Platform { return c.platform }
 
 // Run executes body once per rank, concurrently, and returns the collected
 // statistics. Statistics reset on each Run.
+//
+// If any rank's body panics — including the "cluster: mismatched collective
+// operations across ranks" misuse panic — every other rank is released from
+// its rendezvous with the same failure and Run re-panics with the first
+// panic value on the caller's goroutine. Misuse therefore surfaces as one
+// deterministic, recoverable panic rather than a deadlock or process crash.
+// The Comm remains reusable afterwards: the next Run starts from reset
+// state.
 func (c *Comm) Run(body func(r *Rank)) Stats {
 	c.reset()
 	start := time.Now()
@@ -134,10 +149,18 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					c.abort(e)
+				}
+			}()
 			body(&Rank{ID: id, c: c})
 		}(id)
 	}
 	wg.Wait()
+	if c.failure != nil {
+		panic(c.failure)
+	}
 	wall := time.Since(start)
 
 	// Compute tail after the last collective.
@@ -182,6 +205,24 @@ func (c *Comm) reset() {
 	}
 	c.pathWords, c.totalWords, c.phases = 0, 0, 0
 	c.modeled = 0
+	c.aborted, c.failure = false, nil
+}
+
+// abort records the first failure and wakes every rank blocked in a
+// rendezvous so the whole Run unwinds instead of deadlocking.
+func (c *Comm) abort(v any) {
+	c.mu.Lock()
+	c.abortLocked(v)
+	c.mu.Unlock()
+}
+
+// abortLocked is abort for callers already holding c.mu.
+func (c *Comm) abortLocked(v any) {
+	if !c.aborted {
+		c.aborted = true
+		c.failure = v
+	}
+	c.cond.Broadcast()
 }
 
 // closePhase charges the bulk-synchronous cost of the completed phase: the
@@ -246,10 +287,17 @@ func (r *Rank) collective(kind collKind, root, vecLen int, stage, finalize func(
 	c := r.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.aborted {
+		// A peer already failed; propagate its failure instead of waiting
+		// for a rendezvous that can never complete.
+		panic(c.failure)
+	}
 	if c.arrived == 0 {
 		c.kind, c.root, c.vecLen = kind, root, vecLen
 	} else if c.kind != kind || c.root != root || c.vecLen != vecLen {
-		panic("cluster: mismatched collective operations across ranks")
+		const msg = "cluster: mismatched collective operations across ranks"
+		c.abortLocked(msg)
+		panic(msg)
 	}
 	if stage != nil {
 		stage()
@@ -265,8 +313,12 @@ func (r *Rank) collective(kind collKind, root, vecLen int, stage, finalize func(
 		return
 	}
 	gen := c.gen
-	for c.gen == gen {
+	for c.gen == gen && !c.aborted {
 		c.cond.Wait()
+	}
+	if c.gen == gen && c.aborted {
+		// Released by an abort, not by phase completion.
+		panic(c.failure)
 	}
 }
 

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These regression tests pin down the abort protocol (a bad Run panics
+// loudly and deterministically instead of deadlocking) and Comm reuse
+// (sequential Runs start from fully reset statistics). All Run calls go
+// through the watchdog so a future collective bug fails CI with a goroutine
+// dump instead of hanging it.
+
+const mismatchMsg = "cluster: mismatched collective operations across ranks"
+
+// runExpectPanic executes body on c under the watchdog and returns the value
+// Run panicked with (nil if it completed).
+func runExpectPanic(t *testing.T, c *Comm, body func(r *Rank)) (failure any) {
+	t.Helper()
+	watchdog(t, func() {
+		defer func() { failure = recover() }()
+		c.Run(body)
+	})
+	return failure
+}
+
+func TestRunMismatchedKindPanicsFromRun(t *testing.T) {
+	c := NewComm(NewPlatform(1, 4))
+	failure := runExpectPanic(t, c, func(r *Rank) {
+		v := []float64{1}
+		if r.ID == 0 {
+			r.Reduce(v, 0)
+		} else {
+			r.Broadcast(v, 0)
+		}
+	})
+	if failure != mismatchMsg {
+		t.Fatalf("Run panicked with %v, want %q", failure, mismatchMsg)
+	}
+}
+
+func TestRunMismatchedRootPanicsFromRun(t *testing.T) {
+	c := NewComm(NewPlatform(1, 4))
+	failure := runExpectPanic(t, c, func(r *Rank) {
+		r.Reduce([]float64{1}, r.ID%2) // ranks disagree on the root
+	})
+	if failure != mismatchMsg {
+		t.Fatalf("Run panicked with %v, want %q", failure, mismatchMsg)
+	}
+}
+
+func TestRunMismatchedLengthPanicsFromRun(t *testing.T) {
+	c := NewComm(NewPlatform(2, 2))
+	failure := runExpectPanic(t, c, func(r *Rank) {
+		r.Allreduce(make([]float64, 1+r.ID%2)) // ranks disagree on length
+	})
+	if failure != mismatchMsg {
+		t.Fatalf("Run panicked with %v, want %q", failure, mismatchMsg)
+	}
+}
+
+func TestRunBodyPanicPropagatesAndReleasesPeers(t *testing.T) {
+	c := NewComm(NewPlatform(1, 4))
+	failure := runExpectPanic(t, c, func(r *Rank) {
+		if r.ID == 2 {
+			panic("solver exploded")
+		}
+		// The other ranks head into a rendezvous rank 2 will never join;
+		// the abort must release them.
+		r.Barrier()
+	})
+	if failure != "solver exploded" {
+		t.Fatalf("Run panicked with %v, want the body's panic value", failure)
+	}
+}
+
+// gramLike is a deterministic body exercising both collectives and the flop
+// accounting, so every Stats field is populated.
+func gramLike(r *Rank) {
+	v := []float64{float64(r.ID + 1), 2}
+	r.AddFlops(int64(10 * (r.ID + 1)))
+	r.Reduce(v, 0)
+	r.Broadcast(v, 0)
+	r.AddFlops(5)
+}
+
+func TestCommReusableWithResetStats(t *testing.T) {
+	c := NewComm(NewPlatform(2, 2))
+	var first, second Stats
+	watchdog(t, func() { first = c.Run(gramLike) })
+	watchdog(t, func() { second = c.Run(gramLike) })
+
+	// Wall clock differs run to run; everything modeled must be identical,
+	// which is only possible if the second Run started from reset state.
+	first.Wall, second.Wall = 0, 0
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("sequential Runs diverge:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	if first.Phases != 2 || first.TotalFlops != (10+20+30+40)+4*5 {
+		t.Fatalf("unexpected accounting: %+v", first)
+	}
+}
+
+func TestCommReusableAfterAbort(t *testing.T) {
+	c := NewComm(NewPlatform(1, 4))
+	var clean Stats
+	watchdog(t, func() { clean = c.Run(gramLike) })
+
+	if failure := runExpectPanic(t, c, func(r *Rank) {
+		if r.ID == 0 {
+			panic("cluster: induced failure")
+		}
+		r.Barrier()
+	}); failure == nil {
+		t.Fatal("induced failure did not propagate out of Run")
+	}
+
+	var after Stats
+	watchdog(t, func() { after = c.Run(gramLike) })
+	clean.Wall, after.Wall = 0, 0
+	if !reflect.DeepEqual(clean, after) {
+		t.Fatalf("Comm did not fully reset after an aborted Run:\nbefore %+v\nafter  %+v", clean, after)
+	}
+}

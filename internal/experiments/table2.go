@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"extdict/internal/cluster"
 	"extdict/internal/dataset"
+	"extdict/internal/perf"
 	"extdict/internal/tune"
 )
 
@@ -43,19 +43,19 @@ func Table2(cfg Config) (*Table2Result, error) {
 		tcfg := tune.Config{
 			Epsilon: 0.1, Workers: cfg.Workers, Seed: cfg.Seed,
 		}
-		t0 := time.Now()
+		sw := perf.StartWall()
 		tr, err := tune.Tune(u.A, plat, tcfg)
 		if err != nil {
 			return nil, err
 		}
-		tuneDur := time.Since(t0)
+		tuneDur := sw.Elapsed()
 
-		t1 := time.Now()
+		sw = perf.StartWall()
 		fit, err := tuneFit(u, tr.Best.L, tcfg)
 		if err != nil {
 			return nil, err
 		}
-		fitDur := time.Since(t1)
+		fitDur := sw.Elapsed()
 
 		res.Rows = append(res.Rows, Table2Row{
 			Dataset:   name,

@@ -1,0 +1,45 @@
+package lint
+
+import "testing"
+
+// Each analyzer is proven to fire (and to stay quiet) on its testdata
+// fixtures, run under the import path named in the fixture's package doc.
+
+func TestNoRandFixture(t *testing.T) {
+	runFixture(t, NoRand, fixturePath("norand", "bad.go"), "extdict/internal/solver")
+	runFixture(t, NoRand, fixturePath("norand", "allowed.go"), "extdict/internal/rng")
+}
+
+func TestNoClockFixture(t *testing.T) {
+	runFixture(t, NoClock, fixturePath("noclock", "bad.go"), "extdict/internal/solver")
+	runFixture(t, NoClock, fixturePath("noclock", "allowed.go"), "extdict/internal/perf")
+}
+
+func TestGoroutinesFixture(t *testing.T) {
+	runFixture(t, Goroutines, fixturePath("goroutines", "bad.go"), "extdict/internal/dist")
+	runFixture(t, Goroutines, fixturePath("goroutines", "allowed.go"), "extdict/internal/mat")
+}
+
+func TestFlopAuditFixture(t *testing.T) {
+	runFixture(t, FlopAudit, fixturePath("flopaudit", "fixture.go"), "extdict/internal/dist")
+	// Outside dist/solver the same file is not audited at all.
+	runFixtureExpectNone(t, FlopAudit, fixturePath("flopaudit", "fixture.go"), "extdict/internal/experiments")
+}
+
+func TestPanicMsgFixture(t *testing.T) {
+	runFixture(t, PanicMsg, fixturePath("panicmsg", "fixture.go"), "extdict/internal/imgproc")
+}
+
+func TestNoFloatEqFixture(t *testing.T) {
+	runFixture(t, NoFloatEq, fixturePath("nofloateq", "fixture.go"), "extdict/internal/solver")
+}
+
+func TestExportedDocFixture(t *testing.T) {
+	runFixture(t, ExportedDoc, fixturePath("exporteddoc", "fixture.go"), "extdict/internal/fixture")
+	// Outside internal/ the check does not apply.
+	runFixtureExpectNone(t, ExportedDoc, fixturePath("exporteddoc", "fixture.go"), "extdict/cmd/fixture")
+}
+
+func TestSuppressionFixture(t *testing.T) {
+	runFixture(t, NoFloatEq, fixturePath("directive", "fixture.go"), "extdict/internal/solver")
+}

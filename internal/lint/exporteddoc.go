@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ExportedDoc requires a doc comment on every exported top-level identifier
+// inside internal/. The internal tree is this project's API surface between
+// subsystems; undocumented exports are how accounting conventions (what a
+// flop count includes, which buffers alias) silently diverge. Grouped
+// declarations may document the group once; methods on unexported receivers
+// are exempt (they are unreachable outside the package).
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc: "exported identifiers in internal/ packages need doc comments " +
+		"(on the declaration or its group)",
+	SkipTests: true,
+	Run: func(p *Pass) {
+		if !hasPrefixPkg(p.Pkg.ImportPath, "extdict/internal") {
+			return
+		}
+		p.EachFile(func(f *ast.File) {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFuncDoc(p, d)
+				case *ast.GenDecl:
+					checkGenDoc(p, d)
+				}
+			}
+		})
+	},
+}
+
+func checkFuncDoc(p *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	if d.Recv != nil && !exportedRecv(d.Recv) {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		kind = "method"
+	}
+	p.Reportf(d.Name.Pos(), "exported %s %s lacks a doc comment", kind, d.Name.Name)
+}
+
+// exportedRecv reports whether the receiver's base type name is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func checkGenDoc(p *Pass, d *ast.GenDecl) {
+	if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+		return
+	}
+	// Trailing line comments document a spec only inside a grouped
+	// declaration — the idiomatic const-block style. An ungrouped decl
+	// needs a leading doc comment.
+	grouped := d.Lparen.IsValid()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && !(grouped && s.Comment != nil) {
+				p.Reportf(s.Name.Pos(), "exported type %s lacks a doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || (grouped && s.Comment != nil) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					p.Reportf(name.Pos(), "exported %s %s lacks a doc comment", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

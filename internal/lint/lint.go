@@ -1,0 +1,157 @@
+// Package lint is extdict's project-invariant static analyzer. It is built
+// purely on the standard library (go/ast, go/parser, go/token) so the module
+// stays dependency-free, and it encodes the written invariants the paper's
+// cost model relies on: deterministic randomness, wall-clock confinement,
+// goroutine ownership, and exact flop accounting.
+//
+// The engine is deliberately small: an Analyzer inspects the parsed files of
+// one package at a time and reports findings at token positions. Findings can
+// be suppressed with a justified directive:
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the offending line or on the line directly above it. A directive
+// without a reason is itself a finding — exceptions must be argued, not
+// waved through.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Check names the analyzer that produced the finding.
+	Check string `json:"check"`
+	// Pos locates the violation.
+	Pos token.Position `json:"pos"`
+	// Message explains the violation and how to fix or suppress it.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Check)
+}
+
+// Package is one parsed package unit: every file in a directory, sharing a
+// FileSet. Test files are included; analyzers that do not apply to tests set
+// SkipTests.
+type Package struct {
+	// Dir is the directory the files were read from.
+	Dir string
+	// ImportPath is the package's module-qualified path, e.g.
+	// "extdict/internal/dist". Analyzers use it to scope allowlists.
+	ImportPath string
+	// Fset resolves token positions for all Files.
+	Fset *token.FileSet
+	// Files are the parsed files, with comments.
+	Files []*ast.File
+}
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	// Name identifies the check in reports and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// SkipTests excludes _test.go files from this check.
+	SkipTests bool
+	// Run inspects the pass's package and reports findings.
+	Run func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) invocation context.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	file     *ast.File // file currently being walked (set by the engine)
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// EachFile invokes fn for every file in the package, honoring the analyzer's
+// SkipTests setting. Analyzers should iterate with this rather than ranging
+// over Pkg.Files directly.
+func (p *Pass) EachFile(fn func(*ast.File)) {
+	for _, f := range p.Pkg.Files {
+		if p.Analyzer.SkipTests && strings.HasSuffix(p.position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		p.file = f
+		fn(f)
+	}
+	p.file = nil
+}
+
+func (p *Pass) position(pos token.Pos) token.Position {
+	return p.Pkg.Fset.Position(pos)
+}
+
+// ImportName returns the local name under which file imports path, and
+// whether it imports it at all. An unnamed import of "math/rand" yields
+// "rand"; a named import follows the alias. Blank and dot imports report
+// their literal spelling.
+func ImportName(file *ast.File, path string) (string, bool) {
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// Run executes every analyzer over the package and returns the surviving
+// findings, sorted by position: suppressed findings are dropped, and
+// malformed ignore directives are reported under the "directive" check.
+func Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	dirs, bad := collectDirectives(pkg)
+	var out []Finding
+	out = append(out, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, f := range pass.findings {
+			if !dirs.suppresses(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}

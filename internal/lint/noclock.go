@@ -1,0 +1,46 @@
+package lint
+
+import "go/ast"
+
+// clockFuncs are the time package's clock reads. Timers and constants
+// (time.After, time.Millisecond) are fine; reading the clock is not.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// NoClock confines wall-clock reads to the two packages allowed to measure
+// time: the cluster runtime (which stamps Stats.Wall) and the perf package
+// (which owns the Stopwatch helper). Everywhere else, "time" must come from
+// the platform cost model — a solver that consults the host clock smuggles
+// platform noise into numbers the paper models analytically.
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc: "forbid time.Now/time.Since/time.Until outside internal/cluster " +
+		"and internal/perf; modeled time comes from the cost model, wall " +
+		"time only from Stats.Wall or perf.StartWall",
+	Run: func(p *Pass) {
+		if inAnyPkg(p.Pkg.ImportPath, "extdict/internal/cluster", "extdict/internal/perf") {
+			return
+		}
+		p.EachFile(func(f *ast.File) {
+			timeName, ok := ImportName(f, "time")
+			if !ok || timeName == "_" || timeName == "." {
+				return
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !clockFuncs[sel.Sel.Name] {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+					p.Reportf(call.Pos(),
+						"time.%s outside internal/cluster and internal/perf; measure wall time with perf.StartWall",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		})
+	},
+}

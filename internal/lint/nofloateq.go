@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NoFloatEq flags == and != where one side is a floating point literal.
+// Exact comparison against a float constant is almost always a rounding bug
+// waiting to happen; compare with a tolerance, or suppress with a reason
+// when bit-exactness is genuinely intended (e.g. determinism tests).
+var NoFloatEq = &Analyzer{
+	Name: "nofloateq",
+	Doc: "forbid ==/!= against floating point literals; compare with a " +
+		"tolerance or justify bit-exact intent",
+	Run: func(p *Pass) {
+		p.EachFile(func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if isFloatLit(bin.X) || isFloatLit(bin.Y) {
+					p.Reportf(bin.Pos(),
+						"%s against a float literal is exact comparison; use a tolerance or justify with //lint:ignore nofloateq", bin.Op)
+				}
+				return true
+			})
+		})
+	},
+}
+
+func isFloatLit(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.FLOAT
+}

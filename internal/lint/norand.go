@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoRand forbids math/rand outside internal/rng. Every random draw in the
+// system must flow through the deterministic splittable streams in
+// extdict/internal/rng, or tuning runs and experiments stop being
+// reproducible run-to-run — the property the paper's tables depend on.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc: "forbid math/rand imports outside internal/rng; randomness must " +
+		"come from extdict/internal/rng so every run is reproducible",
+	Run: func(p *Pass) {
+		if hasPrefixPkg(p.Pkg.ImportPath, "extdict/internal/rng") {
+			return
+		}
+		p.EachFile(func(f *ast.File) {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(),
+						"import of %q outside internal/rng breaks run-to-run determinism; use extdict/internal/rng", path)
+				}
+			}
+		})
+	},
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// PanicMsg enforces the house style for panic messages: a string literal
+// passed to panic must start with "<package>: " so a stack-less crash report
+// still names the subsystem that raised it. Applies everywhere except
+// package main (commands return errors instead of panicking) and test files.
+var PanicMsg = &Analyzer{
+	Name: "panicmsg",
+	Doc: `panic string literals must carry the "<package>: " prefix so ` +
+		"crash output names the subsystem",
+	SkipTests: true,
+	Run: func(p *Pass) {
+		p.EachFile(func(f *ast.File) {
+			pkgName := f.Name.Name
+			if pkgName == "main" {
+				return
+			}
+			want := pkgName + ": "
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				msg := strings.Trim(lit.Value, "`\"")
+				if !strings.HasPrefix(msg, want) {
+					p.Reportf(lit.Pos(),
+						"panic message %q does not start with %q (house style for crash attribution)", msg, want)
+				}
+				return true
+			})
+		})
+	},
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the suppression machinery with nofloateq.
+package fixture
+
+func compare(x float64) int {
+	//lint:ignore nofloateq suppressed from the line above, with a reason
+	if x == 1.25 {
+		return 1
+	}
+	if x == 2.25 { //lint:ignore nofloateq suppressed from the same line, with a reason
+		return 2
+	}
+	//lint:ignore othercheck reason names a different check, so no suppression
+	if x == 4.25 { // want "== against a float literal"
+		return 4
+	}
+	return 0
+}

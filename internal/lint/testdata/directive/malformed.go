@@ -1,0 +1,11 @@
+// Package fixture holds a reason-less ignore directive; the engine must
+// report the directive itself and leave the finding unsuppressed.
+package fixture
+
+func compare(x float64) int {
+	//lint:ignore nofloateq
+	if x == 3.25 {
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises exporteddoc: run as extdict/internal/fixture.
+package fixture
+
+func Undocumented() {} // want "exported function Undocumented lacks a doc comment"
+
+// Documented has a doc comment; no finding.
+func Documented() {}
+
+func internalHelper() {} // unexported: no finding
+
+type Bare struct{} // want "exported type Bare lacks a doc comment"
+
+// Widget is documented.
+type Widget struct{}
+
+func (Widget) Method() {} // want "exported method Method lacks a doc comment"
+
+// String is documented; no finding.
+func (Widget) String() string { return "widget" }
+
+type hidden struct{}
+
+func (hidden) Reachable() {} // unexported receiver: no finding
+
+var Loose = 1 // want "exported var Loose lacks a doc comment"
+
+// Grouped constants may share the group's doc comment.
+const (
+	ModeA = iota
+	ModeB
+)

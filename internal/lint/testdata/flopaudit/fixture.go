@@ -1,0 +1,39 @@
+// Package fixture exercises flopaudit: run as extdict/internal/dist.
+package fixture
+
+import "extdict/internal/cluster"
+
+type dense struct{}
+
+func (dense) MulVec(x, y []float64) []float64 { return y }
+
+// uncounted calls a kernel without reporting flops — the finding anchors at
+// the function position.
+func uncounted(r *cluster.Rank, d dense, x []float64) { // want "calls kernel MulVec but never calls AddFlops"
+	d.MulVec(x, nil)
+}
+
+// counted reports its flops; no finding.
+func counted(r *cluster.Rank, d dense, x []float64) {
+	d.MulVec(x, nil)
+	r.AddFlops(int64(2 * len(x)))
+}
+
+// commOnly performs no kernel work; no finding.
+func commOnly(r *cluster.Rank, v []float64) {
+	r.Allreduce(v)
+}
+
+// literals get audited too.
+func viaLiteral(d dense, x []float64) func(*cluster.Rank) {
+	return func(r *cluster.Rank) { // want "calls kernel MulVec but never calls AddFlops"
+		d.MulVec(x, nil)
+	}
+}
+
+// justified documents a genuinely zero-cost use.
+//
+//lint:ignore flopaudit MulVec on an empty matrix moves no data and costs no flops
+func justified(r *cluster.Rank, d dense) {
+	d.MulVec(nil, nil)
+}

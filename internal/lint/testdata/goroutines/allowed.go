@@ -1,0 +1,9 @@
+// Package fixture exercises goroutines' allowlist: run as
+// extdict/internal/mat, an owner of concurrency.
+package fixture
+
+func spawn(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

@@ -1,0 +1,9 @@
+// Package fixture exercises goroutines: run as extdict/internal/dist, which
+// must route concurrency through cluster/mat/omp instead of spawning its own.
+package fixture
+
+func spawn(done chan struct{}) {
+	go func() { // want "go statement outside the concurrency-owning packages"
+		close(done)
+	}()
+}

@@ -1,0 +1,9 @@
+// Package fixture exercises noclock's allowlist: run as
+// extdict/internal/perf, which owns the Stopwatch and may read the clock.
+package fixture
+
+import "time"
+
+func stopwatch() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+// Package fixture exercises noclock: run as extdict/internal/solver.
+package fixture
+
+import "time"
+
+func clockReads() time.Duration {
+	start := time.Now()                     // want "time.Now outside internal/cluster and internal/perf"
+	d := time.Since(start)                  // want "time.Since outside"
+	u := time.Until(start.Add(time.Second)) // want "time.Until outside"
+	_ = u
+	t := time.After(time.Millisecond) // timers are fine: not a clock read
+	<-t
+	return d
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises nofloateq.
+package fixture
+
+func compare(x float64, n int) bool {
+	if x == 1.5 { // want "== against a float literal"
+		return true
+	}
+	if x != -2.5 { // want "!= against a float literal"
+		return false
+	}
+	//lint:ignore nofloateq bit-exact sentinel intended
+	if x == 3.5 {
+		return true
+	}
+	return n == 0 // integer literal: no finding
+}

@@ -1,0 +1,9 @@
+// Package fixture exercises norand's allowlist: run as extdict/internal/rng,
+// where importing math/rand (e.g. to cross-check a distribution) is legal.
+package fixture
+
+import (
+	"math/rand"
+)
+
+var _ = rand.Int

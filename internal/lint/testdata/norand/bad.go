@@ -1,0 +1,8 @@
+// Package fixture exercises norand: run as extdict/internal/solver.
+package fixture
+
+import (
+	"math/rand" // want `import of "math/rand" outside internal/rng`
+)
+
+var _ = rand.Int

@@ -1,0 +1,16 @@
+// Package fixture exercises panicmsg: the package is named "fixture", so
+// panic literals must start with "fixture: ".
+package fixture
+
+import "fmt"
+
+func checks(n int) {
+	if n < 0 {
+		panic("negative input") // want `panic message "negative input" does not start with "fixture: "`
+	}
+	if n == 0 {
+		panic("fixture: zero input") // correct prefix: no finding
+	}
+	// Non-literal panics are out of scope for the syntactic check.
+	panic(fmt.Sprintf("n = %d", n))
+}

@@ -43,9 +43,11 @@ func TestNewDenseDataLengthCheck(t *testing.T) {
 func TestAtSetRoundTrip(t *testing.T) {
 	m := NewDense(4, 3)
 	m.Set(2, 1, 7.5)
+	//lint:ignore nofloateq Set/At must round-trip the stored bits unchanged
 	if m.At(2, 1) != 7.5 {
 		t.Fatalf("At(2,1) = %v", m.At(2, 1))
 	}
+	//lint:ignore nofloateq row-major layout check needs the exact stored value
 	if m.Data[2*3+1] != 7.5 {
 		t.Fatal("row-major layout violated")
 	}

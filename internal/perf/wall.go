@@ -1,0 +1,16 @@
+package perf
+
+import "time"
+
+// Stopwatch measures host wall-clock time. It exists so clock reads stay
+// confined to this package and internal/cluster (the noclock invariant
+// enforced by extdict-lint): front ends and experiment drivers that report
+// elapsed wall time start a Stopwatch instead of calling time.Now, keeping
+// every other package free of platform noise the cost model does not model.
+type Stopwatch struct{ start time.Time }
+
+// StartWall begins timing.
+func StartWall() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall time since StartWall.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

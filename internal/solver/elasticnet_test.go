@@ -93,6 +93,7 @@ func TestElasticNetSparsityFromL1(t *testing.T) {
 func TestElasticNetDefaults(t *testing.T) {
 	var o ElasticNetOpts
 	o.fill()
+	//lint:ignore nofloateq defaults are assigned constants, equality is bit-exact by construction
 	if o.MaxIters != 500 || o.LearningRate != 0.5 || o.Tol != 1e-6 {
 		t.Fatalf("defaults %+v", o)
 	}

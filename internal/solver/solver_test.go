@@ -285,11 +285,13 @@ func TestPowerMethodRankDeficient(t *testing.T) {
 func TestDefaultsFilled(t *testing.T) {
 	var lo LassoOpts
 	lo.fill()
+	//lint:ignore nofloateq defaults are assigned constants, equality is bit-exact by construction
 	if lo.MaxIters != 500 || lo.LearningRate != 0.5 || lo.Tol != 1e-6 {
 		t.Fatalf("lasso defaults %+v", lo)
 	}
 	var po PowerOpts
 	po.fill()
+	//lint:ignore nofloateq defaults are assigned constants, equality is bit-exact by construction
 	if po.Components != 1 || po.MaxIters != 300 || po.Tol != 1e-8 {
 		t.Fatalf("power defaults %+v", po)
 	}

@@ -160,6 +160,7 @@ func TestSVMRejectsBadLabels(t *testing.T) {
 func TestSVMDefaults(t *testing.T) {
 	var o SVMOpts
 	o.fill()
+	//lint:ignore nofloateq defaults are assigned constants, equality is bit-exact by construction
 	if o.C != 1 || o.MaxIters != 500 || o.Tol != 1e-7 {
 		t.Fatalf("defaults %+v", o)
 	}

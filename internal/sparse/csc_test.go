@@ -38,6 +38,7 @@ func TestBuilderAndCheck(t *testing.T) {
 	if m.Rows != 4 || m.Cols != 3 || m.NNZ() != 3 {
 		t.Fatalf("shape/nnz wrong: %+v", m)
 	}
+	//lint:ignore nofloateq parsed values must round-trip the literal bits unchanged
 	if m.At(0, 0) != 0.5 || m.At(3, 0) != 30 || m.At(1, 0) != 0 {
 		t.Fatal("At wrong")
 	}
@@ -150,6 +151,7 @@ func TestColSliceRangeIsACopy(t *testing.T) {
 	}
 	s.Val[0] = 1e9
 	for _, v := range m.Val {
+		//lint:ignore nofloateq 1e9 is a sentinel written verbatim; detecting it requires exact match
 		if v == 1e9 {
 			t.Fatal("slice aliases parent storage")
 		}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# ci.sh — the one-command gate for this repository.
+#
+# Runs, in order: build, go vet, gofmt (fails on any unformatted file), the
+# project invariant linter (cmd/extdict-lint), the full test suite, and the
+# race detector over the concurrency-bearing packages. Everything must pass
+# for a change to land.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== extdict-lint"
+go run ./cmd/extdict-lint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (cluster, dist)"
+go test -race -short -count=1 ./internal/cluster/... ./internal/dist/...
+
+echo "CI gate passed."
