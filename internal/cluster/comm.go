@@ -80,6 +80,7 @@ type Comm struct {
 	rootDst []float64   // reduce: root's output buffer
 	src     []float64   // broadcast: root's source buffer
 	dst     [][]float64 // broadcast: per-rank destinations
+	sum     []float64   // reduce: accumulation scratch, reused across phases
 
 	// sinceFlops[r] accumulates rank r's flops since the last phase close.
 	sinceFlops []int64
@@ -334,8 +335,10 @@ func (r *Rank) Reduce(vec []float64, root int) {
 		}
 	}, func() {
 		// Sum in rank order so results are bitwise deterministic across
-		// runs regardless of goroutine arrival order.
-		sum := make([]float64, c.vecLen)
+		// runs regardless of goroutine arrival order. The scratch lives on
+		// the Comm — finalize runs under the lock, so one buffer serves
+		// every phase without allocating.
+		sum := c.sumScratch(c.vecLen)
 		for id := 0; id < c.p; id++ {
 			for i, v := range c.contrib[id] {
 				sum[i] += v
@@ -345,6 +348,18 @@ func (r *Rank) Reduce(vec []float64, root int) {
 		copy(c.rootDst, sum)
 		c.rootDst = nil
 	})
+}
+
+// sumScratch returns a zeroed length-n view of the communicator's reduce
+// buffer, growing it on first use or when a longer vector arrives. Callers
+// hold c.mu (finalize runs under the lock).
+func (c *Comm) sumScratch(n int) []float64 {
+	if cap(c.sum) < n {
+		c.sum = make([]float64, n)
+	}
+	s := c.sum[:n]
+	clear(s)
+	return s
 }
 
 // Broadcast copies the root rank's vec into every other rank's vec

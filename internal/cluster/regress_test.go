@@ -29,8 +29,10 @@ func TestRunMismatchedKindPanicsFromRun(t *testing.T) {
 	failure := runExpectPanic(t, c, func(r *Rank) {
 		v := []float64{1}
 		if r.ID == 0 {
+			//lint:ignore collective deliberate kind mismatch; the test asserts the runtime panic
 			r.Reduce(v, 0)
 		} else {
+			//lint:ignore collective deliberate kind mismatch; the test asserts the runtime panic
 			r.Broadcast(v, 0)
 		}
 	})
@@ -42,7 +44,8 @@ func TestRunMismatchedKindPanicsFromRun(t *testing.T) {
 func TestRunMismatchedRootPanicsFromRun(t *testing.T) {
 	c := NewComm(NewPlatform(1, 4))
 	failure := runExpectPanic(t, c, func(r *Rank) {
-		r.Reduce([]float64{1}, r.ID%2) // ranks disagree on the root
+		//lint:ignore collective deliberate root mismatch; the test asserts the runtime panic
+		r.Reduce([]float64{1}, r.ID%2)
 	})
 	if failure != mismatchMsg {
 		t.Fatalf("Run panicked with %v, want %q", failure, mismatchMsg)
@@ -52,7 +55,8 @@ func TestRunMismatchedRootPanicsFromRun(t *testing.T) {
 func TestRunMismatchedLengthPanicsFromRun(t *testing.T) {
 	c := NewComm(NewPlatform(2, 2))
 	failure := runExpectPanic(t, c, func(r *Rank) {
-		r.Allreduce(make([]float64, 1+r.ID%2)) // ranks disagree on length
+		//lint:ignore collective deliberate length mismatch; the test asserts the runtime panic
+		r.Allreduce(make([]float64, 1+r.ID%2))
 	})
 	if failure != mismatchMsg {
 		t.Fatalf("Run panicked with %v, want %q", failure, mismatchMsg)

@@ -76,10 +76,11 @@ func rangesFor(comm *cluster.Comm, n int) [][2]int {
 // allreduces the M-vector v = Σv_i, then computes y_i = A_iᵀ·v — moving
 // min-communication M words on the critical path.
 type DenseGram struct {
-	comm   *cluster.Comm
-	blocks []*mat.Dense // per-rank column blocks of A
-	ranges [][2]int     // per-rank column ranges (speed-weighted)
-	n, m   int
+	comm    *cluster.Comm
+	blocks  []*mat.Dense // per-rank column blocks of A
+	ranges  [][2]int     // per-rank column ranges (speed-weighted)
+	scratch [][]float64  // per-rank M-vector v_i; Apply runs allocation-free
+	n, m    int
 }
 
 // NewDenseGram partitions a (M×N) across the communicator's ranks.
@@ -87,11 +88,13 @@ func NewDenseGram(comm *cluster.Comm, a *mat.Dense) *DenseGram {
 	p := comm.P()
 	g := &DenseGram{
 		comm: comm, n: a.Cols, m: a.Rows,
-		blocks: make([]*mat.Dense, p),
-		ranges: rangesFor(comm, a.Cols),
+		blocks:  make([]*mat.Dense, p),
+		ranges:  rangesFor(comm, a.Cols),
+		scratch: make([][]float64, p),
 	}
 	for i := 0; i < p; i++ {
 		g.blocks[i] = a.ColRange(g.ranges[i][0], g.ranges[i][1])
+		g.scratch[i] = make([]float64, a.Rows)
 	}
 	return g
 }
@@ -112,7 +115,7 @@ func (g *DenseGram) Apply(x, y []float64) cluster.Stats {
 		blk := g.blocks[r.ID]
 
 		// v_i = A_i·x_i  (2·M·n_i flops: multiply + add per entry).
-		v := blk.MulVec(x[lo:hi], nil)
+		v := blk.MulVec(x[lo:hi], g.scratch[r.ID])
 		r.AddFlops(2 * int64(g.m) * int64(hi-lo))
 
 		// v = Σ v_i across ranks; everyone needs it for step 2.
@@ -140,14 +143,22 @@ func (g *DenseGram) Apply(x, y []float64) cluster.Stats {
 // Either way the communicated volume is 2·min(M, L) per iteration — the
 // paper's optimal bound (§VI-B).
 type ExDGram struct {
-	comm   *cluster.Comm
-	d      *mat.Dense
-	blocks []*sparse.CSC // per-rank column blocks of C
-	ranges [][2]int      // per-rank column ranges (speed-weighted)
-	nnz    []int64       // per-rank nnz
-	n      int
-	l, m   int
-	name   string
+	comm    *cluster.Comm
+	d       *mat.Dense
+	blocks  []*sparse.CSC // per-rank column blocks of C
+	ranges  [][2]int      // per-rank column ranges (speed-weighted)
+	nnz     []int64       // per-rank nnz
+	scratch []exdScratch  // per-rank buffers; Apply runs allocation-free
+	n       int
+	l, m    int
+	name    string
+}
+
+// exdScratch holds one rank's reusable vectors for both Algorithm 2 cases:
+// two L-vectors (v¹ and, in Case 2, Dᵀ·v) and one M-vector (D·v¹).
+type exdScratch struct {
+	vl1, vl2 []float64
+	vm       []float64
 }
 
 // NewExDGram partitions C by columns and places D according to the case.
@@ -164,14 +175,20 @@ func NewTransformedGram(comm *cluster.Comm, d *mat.Dense, c *sparse.CSC, name st
 	p := comm.P()
 	g := &ExDGram{
 		comm: comm, d: d, n: c.Cols, l: d.Cols, m: d.Rows,
-		blocks: make([]*sparse.CSC, p),
-		ranges: rangesFor(comm, c.Cols),
-		nnz:    make([]int64, p),
-		name:   name,
+		blocks:  make([]*sparse.CSC, p),
+		ranges:  rangesFor(comm, c.Cols),
+		nnz:     make([]int64, p),
+		scratch: make([]exdScratch, p),
+		name:    name,
 	}
 	for i := 0; i < p; i++ {
 		g.blocks[i] = c.ColSliceRange(g.ranges[i][0], g.ranges[i][1])
 		g.nnz[i] = int64(g.blocks[i].NNZ())
+		g.scratch[i] = exdScratch{
+			vl1: make([]float64, g.l),
+			vl2: make([]float64, g.l),
+			vm:  make([]float64, g.m),
+		}
 	}
 	return g, nil
 }
@@ -202,7 +219,7 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 	blk := g.blocks[r.ID]
 
 	// Step 1: v¹_i = C_i·x_i (sparse: 2·nnz_i flops).
-	v1 := blk.MulVec(x[lo:hi], nil)
+	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
 	r.AddFlops(2 * g.nnz[r.ID])
 
 	// Steps 3-4: reduce v¹ to rank 0 (L words on the path).
@@ -211,7 +228,7 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 	v3 := v1
 	if r.ID == 0 {
 		// Steps 4-5 on rank 0 only: v² = D·v¹ then v³ = Dᵀ·v².
-		v2 := g.d.MulVec(v1, nil)
+		v2 := g.d.MulVec(v1, g.scratch[r.ID].vm)
 		g.d.MulVecT(v2, v3)
 		r.AddFlops(2 * 2 * int64(g.m) * int64(g.l))
 	}
@@ -230,11 +247,11 @@ func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
 	blk := g.blocks[r.ID]
 
 	// Step 1: v¹_i = C_i·x_i.
-	v1 := blk.MulVec(x[lo:hi], nil)
+	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
 	r.AddFlops(2 * g.nnz[r.ID])
 
 	// Step 3: v²_i = D·v¹_i locally (the replication saves words later).
-	v2 := g.d.MulVec(v1, nil)
+	v2 := g.d.MulVec(v1, g.scratch[r.ID].vm)
 	r.AddFlops(2 * int64(g.m) * int64(g.l))
 
 	// Steps 4-6: v = Σ v²_i, everywhere (M words each way).
@@ -242,7 +259,7 @@ func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
 
 	// Step 7: y_i = C_iᵀ·(Dᵀ·v) — the Dᵀ·v multiply is redundant on every
 	// rank; that is the price Case 2 pays to keep communication at M.
-	w := g.d.MulVecT(v2, nil)
+	w := g.d.MulVecT(v2, g.scratch[r.ID].vl2)
 	r.AddFlops(2 * int64(g.m) * int64(g.l))
 	blk.MulVecT(w, y[lo:hi])
 	r.AddFlops(2 * g.nnz[r.ID])

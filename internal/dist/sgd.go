@@ -18,9 +18,10 @@ import (
 // ExtDict's min(M, L), at the price of many more iterations and no memory
 // savings (the full A stays resident).
 type BatchGram struct {
-	comm   *cluster.Comm
-	a      *mat.Dense
-	ranges [][2]int // per-rank column ranges (speed-weighted)
+	comm    *cluster.Comm
+	a       *mat.Dense
+	ranges  [][2]int    // per-rank column ranges (speed-weighted)
+	scratch [][]float64 // per-rank B-vector; Apply runs allocation-free
 	// B is the batch size (paper experiments: 64).
 	B   int
 	rng *rng.RNG
@@ -33,10 +34,15 @@ func NewBatchGram(comm *cluster.Comm, a *mat.Dense, batch int, seed uint64) *Bat
 	if batch < 1 || batch > a.Rows {
 		batch = min(64, a.Rows)
 	}
-	return &BatchGram{
+	g := &BatchGram{
 		comm: comm, a: a, B: batch, rng: rng.New(seed), n: a.Cols,
-		ranges: rangesFor(comm, a.Cols),
+		ranges:  rangesFor(comm, a.Cols),
+		scratch: make([][]float64, comm.P()),
 	}
+	for i := range g.scratch {
+		g.scratch[i] = make([]float64, batch)
+	}
+	return g
 }
 
 // Dim implements Operator.
@@ -60,7 +66,7 @@ func (g *BatchGram) Apply(x, y []float64) cluster.Stats {
 		ni := hi - lo
 
 		// v = A_b,i·x_i: one dot product per batch row over the local block.
-		v := make([]float64, len(batch))
+		v := g.scratch[r.ID][:len(batch)]
 		for bi, row := range batch {
 			rowSlice := g.a.Row(row)[lo:hi]
 			var s float64

@@ -7,6 +7,9 @@ func All() []*Analyzer {
 		NoClock,
 		Goroutines,
 		FlopAudit,
+		Collective,
+		HotAlloc,
+		ErrCheck,
 		PanicMsg,
 		NoFloatEq,
 		ExportedDoc,

@@ -13,6 +13,8 @@ func TestNoRandFixture(t *testing.T) {
 func TestNoClockFixture(t *testing.T) {
 	runFixture(t, NoClock, fixturePath("noclock", "bad.go"), "extdict/internal/solver")
 	runFixture(t, NoClock, fixturePath("noclock", "allowed.go"), "extdict/internal/perf")
+	// Aliased imports and uncalled references need the type-aware layer.
+	runFixture(t, NoClock, fixturePath("noclock", "aliased.go"), "extdict/internal/solver")
 }
 
 func TestGoroutinesFixture(t *testing.T) {
@@ -24,6 +26,23 @@ func TestFlopAuditFixture(t *testing.T) {
 	runFixture(t, FlopAudit, fixturePath("flopaudit", "fixture.go"), "extdict/internal/dist")
 	// Outside dist/solver the same file is not audited at all.
 	runFixtureExpectNone(t, FlopAudit, fixturePath("flopaudit", "fixture.go"), "extdict/internal/experiments")
+	// A type alias hiding *cluster.Rank needs the typed parameter check.
+	runFixture(t, FlopAudit, fixturePath("flopaudit", "alias.go"), "extdict/internal/dist")
+}
+
+func TestCollectiveFixture(t *testing.T) {
+	runFixture(t, Collective, fixturePath("collective", "bad.go"), "extdict/internal/dist")
+	runFixture(t, Collective, fixturePath("collective", "allowed.go"), "extdict/internal/dist")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc, fixturePath("hotalloc", "bad.go"), "extdict/internal/solver")
+	// Outside dist/solver the check does not apply.
+	runFixtureExpectNone(t, HotAlloc, fixturePath("hotalloc", "bad.go"), "extdict/internal/experiments")
+}
+
+func TestErrCheckFixture(t *testing.T) {
+	runFixture(t, ErrCheck, fixturePath("errcheck", "fixture.go"), "extdict/internal/experiments")
 }
 
 func TestPanicMsgFixture(t *testing.T) {

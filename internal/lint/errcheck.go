@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags call statements that discard an error result. An error
+// dropped on the floor turns a failed solve, a truncated results file, or a
+// bad platform spec into silently wrong experiment tables. The check is
+// module-wide and type-resolved; without type information it stays quiet
+// rather than guessing.
+//
+// Never-failing writers are exempt: anything in package fmt (printing to
+// stdout/stderr for a CLI is conventional), and methods on bytes.Buffer and
+// strings.Builder, whose errors are documented to always be nil.
+var ErrCheck = &Analyzer{
+	Name:      "errcheck",
+	SkipTests: true,
+	Doc: "a call statement whose (last) result is an error must not discard " +
+		"it; handle the error or suppress with a justified //lint:ignore",
+	Run: func(p *Pass) {
+		info := p.Pkg.TypesInfo
+		if info == nil {
+			return
+		}
+		errType := types.Universe.Lookup("error").Type()
+		p.EachFile(func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				verb := ""
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = st.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call, verb = st.Call, "deferred "
+				case *ast.GoStmt:
+					call, verb = st.Call, "spawned "
+				}
+				if call == nil || !returnsError(info, call, errType) || exemptCallee(info, call) {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"%scall discards the error returned by %s; check it or justify with //lint:ignore errcheck", verb, types.ExprString(call.Fun))
+				return true
+			})
+		})
+	},
+}
+
+// returnsError reports whether the call's result — or the last element of
+// its result tuple — is the error type.
+func returnsError(info *types.Info, call *ast.CallExpr, errType types.Type) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, errType)
+}
+
+// exemptCallee reports whether the callee is on the never-fails allowlist.
+func exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}

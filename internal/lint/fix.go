@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by findings to the files on
+// disk and gofmt-formats each touched file, so -fix output always passes
+// gofmt -l. It returns the findings that were fixed and the ones left for a
+// human (no fix attached). The engine drops suppressed findings before they
+// reach here, so a justified exception is never machine-edited.
+//
+// Edits are applied per file in offset order. Overlapping edits — two fixes
+// fighting over the same bytes — abort the whole file set with an error
+// rather than guessing, since a half-applied fix leaves the tree unbuildable.
+func ApplyFixes(findings []Finding) (fixed, remaining []Finding, err error) {
+	byFile := make(map[string][]TextEdit)
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			remaining = append(remaining, f)
+			continue
+		}
+		fixed = append(fixed, f)
+		for _, e := range f.Fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for name := range byFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+
+	for _, name := range files {
+		if err := applyFileEdits(name, byFile[name]); err != nil {
+			return nil, findings, err
+		}
+	}
+	return fixed, remaining, nil
+}
+
+// applyFileEdits rewrites one file with its edits, validated and in order.
+func applyFileEdits(name string, edits []TextEdit) error {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	var out []byte
+	cursor := 0
+	for _, e := range edits {
+		if e.Start < cursor {
+			return fmt.Errorf("lint: overlapping fixes in %s at byte %d", name, e.Start)
+		}
+		if e.End < e.Start || e.End > len(src) {
+			return fmt.Errorf("lint: fix range [%d,%d) out of bounds for %s (%d bytes)", e.Start, e.End, name, len(src))
+		}
+		out = append(out, src[cursor:e.Start]...)
+		out = append(out, e.NewText...)
+		cursor = e.End
+	}
+	out = append(out, src[cursor:]...)
+
+	formatted, err := format.Source(out)
+	if err != nil {
+		return fmt.Errorf("lint: fixes produced unparsable %s: %w", name, err)
+	}
+	mode := fs.FileMode(0o644)
+	if info, statErr := os.Stat(name); statErr == nil {
+		mode = info.Mode()
+	}
+	if err := os.WriteFile(name, formatted, mode); err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	return nil
+}

@@ -93,7 +93,10 @@ func runFixtureExpectNone(t *testing.T, a *Analyzer, fixture, importPath string)
 	}
 }
 
-// parseFixture loads one fixture file as a standalone package.
+// parseFixture loads one fixture file as a standalone package and
+// type-checks it against the real module, so fixtures exercise the same
+// type-aware paths the CLI runs. Deliberately broken fixtures still load:
+// type errors are collected, not fatal.
 func parseFixture(t *testing.T, fixture, importPath string) *Package {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -101,12 +104,18 @@ func parseFixture(t *testing.T, fixture, importPath string) *Package {
 	if err != nil {
 		t.Fatalf("parse %s: %v", fixture, err)
 	}
-	return &Package{
+	pkg := &Package{
 		Dir:        filepath.Dir(fixture),
 		ImportPath: importPath,
 		Fset:       fset,
 		Files:      []*ast.File{f},
 	}
+	root, module, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkg.TypeCheck(root, module)
+	return pkg
 }
 
 // fixturePath resolves a file under testdata/.

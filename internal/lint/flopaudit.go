@@ -1,6 +1,9 @@
 package lint
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/types"
+)
 
 // kernelCalls are the mat/sparse operations that execute floating point
 // work. A distributed kernel that calls one of these on behalf of a rank
@@ -30,8 +33,9 @@ var FlopAudit = &Analyzer{
 			return
 		}
 		p.EachFile(func(f *ast.File) {
-			clusterName, ok := ImportName(f, "extdict/internal/cluster")
-			if !ok {
+			info := p.Pkg.TypesInfo
+			clusterName, imported := ImportName(f, "extdict/internal/cluster")
+			if info == nil && !imported {
 				return
 			}
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -45,7 +49,7 @@ var FlopAudit = &Analyzer{
 				default:
 					return true
 				}
-				if body == nil || !takesRankParam(ft, clusterName) {
+				if body == nil || !takesRank(ft, info, clusterName) {
 					return true
 				}
 				kernel, counted := auditBody(body)
@@ -57,6 +61,24 @@ var FlopAudit = &Analyzer{
 			})
 		})
 	},
+}
+
+// takesRank reports whether the signature has a *cluster.Rank parameter.
+// With type information the parameter type is resolved, so in-file type
+// aliases and renamed imports cannot hide it; otherwise it falls back to
+// the syntactic *<clusterName>.Rank shape.
+func takesRank(ft *ast.FuncType, info *types.Info, clusterName string) bool {
+	if info != nil {
+		if ft.Params != nil {
+			for _, field := range ft.Params.List {
+				if t := info.TypeOf(field.Type); t != nil && isRankPtr(t) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return takesRankParam(ft, clusterName)
 }
 
 // takesRankParam reports whether the signature has a *cluster.Rank parameter

@@ -37,10 +37,13 @@ func ModuleRoot(dir string) (root, module string, err error) {
 }
 
 // Load expands the package patterns relative to root and parses every
-// matched directory into a Package. Patterns follow the go tool's shape: a
-// directory path loads one package, a trailing "/..." loads the whole
-// subtree. Directories named testdata or vendor and hidden directories are
-// skipped.
+// matched directory into a Package, then type-checks each one (resolving
+// module-local imports from source and standard-library imports through the
+// compiler's export data), so analyzers see resolved types. Type-check
+// diagnostics land in each Package's TypeErrors; they do not fail the load.
+// Patterns follow the go tool's shape: a directory path loads one package,
+// a trailing "/..." loads the whole subtree. Directories named testdata or
+// vendor and hidden directories are skipped.
 func Load(root, module string, patterns []string) ([]*Package, error) {
 	dirSet := make(map[string]bool)
 	for _, pat := range patterns {
@@ -93,12 +96,14 @@ func Load(root, module string, patterns []string) ([]*Package, error) {
 	sort.Strings(dirs)
 
 	var pkgs []*Package
+	tc := newTypeChecker(root, module)
 	for _, dir := range dirs {
 		pkg, err := parseDir(dir, root, module)
 		if err != nil {
 			return nil, err
 		}
 		if pkg != nil {
+			pkg.typeCheck(tc)
 			pkgs = append(pkgs, pkg)
 		}
 	}

@@ -1,6 +1,9 @@
 package lint
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/types"
+)
 
 // clockFuncs are the time package's clock reads. Timers and constants
 // (time.After, time.Millisecond) are fine; reading the clock is not.
@@ -11,6 +14,12 @@ var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 // (which owns the Stopwatch helper). Everywhere else, "time" must come from
 // the platform cost model — a solver that consults the host clock smuggles
 // platform noise into numbers the paper models analytically.
+//
+// The check is type-resolved: any use of the time.Now/Since/Until function
+// objects is flagged, whether reached through the plain import, an aliased
+// or dot import, or a reference without a call (assigning time.Now to a
+// variable smuggles the clock just as well). Without type information it
+// falls back to the syntactic time.<func>() pattern.
 var NoClock = &Analyzer{
 	Name: "noclock",
 	Doc: "forbid time.Now/time.Since/time.Until outside internal/cluster " +
@@ -21,26 +30,68 @@ var NoClock = &Analyzer{
 			return
 		}
 		p.EachFile(func(f *ast.File) {
-			timeName, ok := ImportName(f, "time")
-			if !ok || timeName == "_" || timeName == "." {
+			if p.Pkg.TypesInfo != nil {
+				noClockTyped(p, f)
 				return
 			}
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || !clockFuncs[sel.Sel.Name] {
-					return true
-				}
-				if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
-					p.Reportf(call.Pos(),
-						"time.%s outside internal/cluster and internal/perf; measure wall time with perf.StartWall",
-						sel.Sel.Name)
-				}
-				return true
-			})
+			noClockSyntactic(p, f)
 		})
 	},
+}
+
+// isClockObj reports whether obj is one of time's clock-read functions.
+func isClockObj(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && clockFuncs[fn.Name()]
+}
+
+// noClockTyped flags every resolved use of a clock function: selector
+// (time.Now, aliased or not), dot-imported bare identifier, call or plain
+// reference alike.
+func noClockTyped(p *Pass, f *ast.File) {
+	info := p.Pkg.TypesInfo
+	seen := make(map[*ast.Ident]bool) // selector Sels handled, skip as Idents
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			seen[e.Sel] = true
+			if isClockObj(info.Uses[e.Sel]) {
+				p.Reportf(e.Pos(),
+					"time.%s outside internal/cluster and internal/perf; measure wall time with perf.StartWall",
+					e.Sel.Name)
+			}
+		case *ast.Ident:
+			if !seen[e] && isClockObj(info.Uses[e]) {
+				p.Reportf(e.Pos(),
+					"time.%s outside internal/cluster and internal/perf; measure wall time with perf.StartWall",
+					e.Name)
+			}
+		}
+		return true
+	})
+}
+
+// noClockSyntactic is the pre-type-checking behavior: direct calls through
+// the file's named time import.
+func noClockSyntactic(p *Pass, f *ast.File) {
+	timeName, ok := ImportName(f, "time")
+	if !ok || timeName == "_" || timeName == "." {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !clockFuncs[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+			p.Reportf(call.Pos(),
+				"time.%s outside internal/cluster and internal/perf; measure wall time with perf.StartWall",
+				sel.Sel.Name)
+		}
+		return true
+	})
 }

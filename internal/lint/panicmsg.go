@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -38,6 +39,10 @@ var PanicMsg = &Analyzer{
 				if !strings.HasPrefix(msg, want) {
 					p.Reportf(lit.Pos(),
 						"panic message %q does not start with %q (house style for crash attribution)", msg, want)
+					// Insert the prefix right after the opening quote; the
+					// prefix needs no escaping in either quote style.
+					p.SuggestFix(fmt.Sprintf("insert the %q prefix", want),
+						p.Edit(lit.Pos()+1, lit.Pos()+1, want))
 				}
 				return true
 			})

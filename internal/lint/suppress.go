@@ -37,8 +37,10 @@ func (d directiveSet) suppresses(f Finding) bool {
 const ignorePrefix = "//lint:ignore"
 
 // collectDirectives scans every comment in the package for ignore
-// directives. Malformed directives — no check name, or no reason — are
-// returned as findings so that suppression always carries a justification.
+// directives. One directive may name several checks separated by commas
+// (//lint:ignore hotalloc,flopaudit reason); the reason covers all of them.
+// Malformed directives — no check name, or no reason — are returned as
+// findings so that suppression always carries a justification.
 func collectDirectives(pkg *Package) (directiveSet, []Finding) {
 	dirs := make(directiveSet)
 	var bad []Finding
@@ -59,7 +61,11 @@ func collectDirectives(pkg *Package) (directiveSet, []Finding) {
 					})
 					continue
 				}
-				dirs.add(pos.Filename, pos.Line, fields[0])
+				for _, check := range strings.Split(fields[0], ",") {
+					if check != "" {
+						dirs.add(pos.Filename, pos.Line, check)
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,61 @@
+// Package fixture proves collective stays quiet on the symmetric idioms the
+// shipped internal/dist kernels use: run as extdict/internal/dist.
+package fixture
+
+import "extdict/internal/cluster"
+
+type blkMat struct{}
+
+func (blkMat) MulVec(x, y []float64) []float64 { return y }
+func (blkMat) MulVecT(x, y []float64)          {}
+
+// rowBlock mirrors DenseGram.Apply: a rank-local window feeds a kernel, the
+// call result is length-unknown (treated uniform), and the collective
+// schedule is identical on every rank.
+func rowBlock(r *cluster.Rank, blk blkMat, x, y []float64) {
+	per := (len(x) + r.P() - 1) / r.P()
+	lo := r.ID * per
+	hi := lo + per
+	if hi > len(x) {
+		hi = len(x)
+	}
+	v := blk.MulVec(x[lo:hi], nil)
+	r.Allreduce(v)
+	blk.MulVecT(v, y)
+}
+
+// rankZeroWork mirrors ExDGram.applyCase1: rank-dependent local compute is
+// fine as long as the collectives themselves stay outside the branch.
+func rankZeroWork(r *cluster.Rank, d blkMat, v1, v3 []float64) {
+	r.Reduce(v1, 0)
+	if r.ID == 0 {
+		v2 := d.MulVec(v1, nil)
+		d.MulVecT(v2, v3)
+	}
+	r.Broadcast(v3, 0)
+}
+
+// uniformLoop: collectives inside a loop with uniform bounds are symmetric.
+func uniformLoop(r *cluster.Rank, v []float64, iters int) {
+	for i := 0; i < iters; i++ {
+		r.Allreduce(v)
+	}
+	for range v {
+		r.Barrier()
+	}
+}
+
+// uniformExit: an early return every rank takes together is symmetric.
+func uniformExit(r *cluster.Rank, v []float64, n int) {
+	if n == 0 {
+		return
+	}
+	r.Allreduce(v)
+}
+
+// uniformScratch: make sized by uniform values is symmetric.
+func uniformScratch(r *cluster.Rank, k int) {
+	w := make([]float64, k)
+	r.Allreduce(w)
+	r.Broadcast(w[:k/2], 0)
+}

@@ -1,0 +1,92 @@
+// Package fixture exercises collective: run as extdict/internal/dist. Each
+// function reproduces, statically, one of the runtime mismatch panics from
+// internal/cluster/regress_test.go.
+package fixture
+
+import "extdict/internal/cluster"
+
+// mismatchedKind: ranks disagree on which collective runs.
+func mismatchedKind(r *cluster.Rank, v []float64) {
+	if r.ID == 0 {
+		r.Reduce(v, 0) // want "control-dependent on a rank-varying condition"
+	} else {
+		r.Broadcast(v, 0) // want "control-dependent on a rank-varying condition"
+	}
+}
+
+// mismatchedRoot: ranks disagree on who the root is.
+func mismatchedRoot(r *cluster.Rank, v []float64) {
+	r.Reduce(v, r.ID%2) // want "root is rank-varying"
+}
+
+// mismatchedLength: ranks pass vectors of different lengths.
+func mismatchedLength(r *cluster.Rank) {
+	r.Allreduce(make([]float64, 1+r.ID%2)) // want "vector length is rank-varying"
+}
+
+// taintFlows: rank-variance survives assignment through locals and helpers.
+func taintFlows(r *cluster.Rank, v []float64) {
+	me := r.ID
+	double := me * 2
+	if double > 2 {
+		r.Barrier() // want "control-dependent on a rank-varying condition"
+	}
+	root := pick(me)
+	r.Broadcast(v, root) // want "root is rank-varying"
+	w := make([]float64, me+1)
+	r.Allreduce(w) // want "vector length is rank-varying"
+}
+
+func pick(n int) int { return n % 2 }
+
+// nodeVaries: r.Node() is a taint seed just like r.ID.
+func nodeVaries(r *cluster.Rank, v []float64) {
+	if r.Node() == 0 {
+		r.Allreduce(v) // want "control-dependent on a rank-varying condition"
+	}
+}
+
+// earlyExit: a rank-varying return desynchronizes every later collective.
+func earlyExit(r *cluster.Rank, v []float64) {
+	r.Allreduce(v) // fine: before the divergent exit
+	if r.ID > 1 {
+		return
+	}
+	r.Allreduce(v) // want "follows a divergent early exit"
+}
+
+// loopExit: a rank-varying break desynchronizes the whole loop, including
+// collectives ahead of the break.
+func loopExit(r *cluster.Rank, v []float64) {
+	for i := 0; i < 8; i++ {
+		r.Allreduce(v) // want "control-dependent on a rank-varying condition"
+		if float64(r.ID) > v[0] {
+			break
+		}
+	}
+}
+
+// taintedTrip: loop bound itself varies by rank.
+func taintedTrip(r *cluster.Rank, v []float64) {
+	for i := 0; i < r.ID; i++ {
+		r.Barrier() // want "control-dependent on a rank-varying condition"
+	}
+}
+
+// rankSwitch: a switch on a rank-varying tag diverges every case.
+func rankSwitch(r *cluster.Rank, v []float64) {
+	switch r.ID % 2 {
+	case 0:
+		r.Reduce(v, 0) // want "control-dependent on a rank-varying condition"
+	default:
+		r.Allreduce(v) // want "control-dependent on a rank-varying condition"
+	}
+}
+
+// justified: a suppression with a reason silences the finding.
+func justified(r *cluster.Rank, v []float64) {
+	if r.ID == 0 {
+		//lint:ignore collective single-rank probe run outside the lock-step schedule
+		r.Barrier()
+	}
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises errcheck: run as extdict/internal/experiments.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error            { return errors.New("fixture: boom") }
+func valueAndErr() (int, error) { return 0, nil }
+func onlyValues() (int, string) { return 0, "" }
+func cleanup() error            { return nil }
+
+func discards(f *os.File) {
+	mayFail()       // want "discards the error returned by mayFail"
+	valueAndErr()   // want "discards the error returned by valueAndErr"
+	f.Close()       // want "discards the error returned by f.Close"
+	defer f.Close() // want "deferred call discards the error returned by f.Close"
+	go cleanup()    // want "spawned call discards the error returned by cleanup"
+	onlyValues()    // no error in the results: fine
+}
+
+func handled(f *os.File) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_, err := valueAndErr()
+	return err
+}
+
+// exempt: fmt printing and never-failing writers.
+func exempt(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("status")
+	fmt.Fprintf(os.Stderr, "warn\n")
+	buf.WriteString("x")
+	sb.WriteByte('y')
+}
+
+// justified documents why the error genuinely cannot matter.
+func justified(f *os.File) {
+	//lint:ignore errcheck read-only file; Close cannot lose buffered writes
+	f.Close()
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises flopaudit's typed rank detection: run as
+// extdict/internal/dist. The in-file alias hides the literal *cluster.Rank
+// parameter shape; go/types resolves it anyway.
+package fixture
+
+import "extdict/internal/cluster"
+
+type rankAlias = cluster.Rank
+
+type denseA struct{}
+
+func (denseA) MulVec(x, y []float64) []float64 { return y }
+
+func aliasHidden(r *rankAlias, d denseA, x []float64) { // want "calls kernel MulVec but never calls AddFlops"
+	d.MulVec(x, nil)
+}
+
+func aliasCounted(r *rankAlias, d denseA, x []float64) {
+	d.MulVec(x, nil)
+	r.AddFlops(int64(2 * len(x)))
+}

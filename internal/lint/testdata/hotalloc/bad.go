@@ -1,0 +1,78 @@
+// Package fixture exercises hotalloc: run as extdict/internal/solver.
+package fixture
+
+import "extdict/internal/cluster"
+
+type op struct{}
+
+func (op) Apply(x, y []float64)                {}
+func (op) MulVec(x, y []float64) []float64     { return y }
+func (op) Describe(v interface{})              {}
+func (op) DescribeMany(vs ...interface{})      {}
+func (op) DescribePtr(v *[3]float64, w any)    {}
+func kernelish(a op, x []float64, s []float64) { _ = s }
+func objective(history []float64, obj float64) {}
+func setupOnly(n int) []float64                { return make([]float64, n) }
+func describeIface(v interface{}) interface{}  { return v }
+
+// hotLoop directly applies the operator, so its whole body is hot.
+func hotLoop(a op, x, y []float64, iters int) {
+	scratch := make([]float64, len(x)) // setup: before the loop, never flagged
+	var history []float64
+	for it := 0; it < iters; it++ {
+		a.Apply(x, y)
+		tmp := make([]float64, len(x)) // want "make allocates on every iteration"
+		_ = tmp
+		history = append(history, x[0]) // want "append may reallocate on every iteration"
+		v := a.MulVec(x, nil)           // want "MulVec with a nil destination allocates"
+		_ = v
+		p := new(float64) // want "new allocates on every iteration"
+		_ = p
+		a.Describe(x[0]) // want "boxes it into an interface"
+	}
+	_ = scratch
+	_ = history
+}
+
+// outerDriver only works through an inner loop, so the outer body is setup:
+// its allocations are fine, the inner loop's are not.
+func outerDriver(a op, x, y []float64, comps int) {
+	for c := 0; c < comps; c++ {
+		col := make([]float64, len(x)) // setup for the inner hot loop
+		for it := 0; it < 8; it++ {
+			a.Apply(col, y)
+			col = append(col, 0) // want "append may reallocate on every iteration"
+		}
+	}
+}
+
+// rankBody is hot in its entirety: it runs once per rank per application.
+func rankBody(r *cluster.Rank, a op, x []float64) {
+	v := make([]float64, len(x)) // want "make allocates on every iteration"
+	a.MulVec(x, v)
+	r.Allreduce(v)
+}
+
+// boxing cases: pointers, constants, interface pass-through, and spread
+// arguments do not allocate.
+func boxingEdges(a op, x []float64, iv interface{}, vs []interface{}) {
+	var arr [3]float64
+	for i := 0; i < 4; i++ {
+		a.Apply(x, x)
+		a.Describe(3.0)           // constant: no boxing at runtime
+		a.Describe(iv)            // already an interface
+		a.DescribeMany(vs...)     // spread passes the slice through
+		a.DescribePtr(&arr, arr)  // want "boxes it into an interface"
+		a.DescribeMany(x[0], 1.0) // want "boxes it into an interface"
+	}
+}
+
+// justified keeps a deliberate per-iteration allocation.
+func justified(a op, x, y []float64) {
+	for it := 0; it < 4; it++ {
+		a.Apply(x, y)
+		//lint:ignore hotalloc the trace is sampled once per run, not per iteration
+		snapshot := make([]float64, len(x))
+		_ = snapshot
+	}
+}

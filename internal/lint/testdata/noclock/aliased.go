@@ -1,0 +1,17 @@
+// Package fixture exercises noclock's type-aware layer: run as
+// extdict/internal/solver. The clock is reached through an aliased import
+// and through an uncalled function reference — both invisible to the old
+// syntactic time.<func>() pattern, both resolved by go/types.
+package fixture
+
+import clk "time"
+
+func aliasedClock() clk.Duration {
+	start := clk.Now() // want "time.Now outside internal/cluster and internal/perf"
+	f := clk.Since     // want "time.Since outside"
+	return f(start)
+}
+
+func timersStillFine() {
+	<-clk.After(clk.Millisecond)
+}

@@ -145,6 +145,7 @@ func Load(path string) (*mat.Dense, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errcheck read-only open; Close cannot lose buffered writes
 	defer f.Close()
 	if strings.HasSuffix(path, ".edm") {
 		return ReadBinary(f)

@@ -72,6 +72,8 @@ func ElasticNet(op dist.Operator, aty []float64, yNorm2 float64, opts ElasticNet
 	gx := make([]float64, n)
 	grad := make([]float64, n)
 	accum := make([]float64, n)
+	// Preallocated to the iteration cap: the hot loop appends nothing.
+	history := make([]float64, opts.MaxIters)
 	const adaEps = 1e-12
 	const patience = 5
 
@@ -86,7 +88,7 @@ func ElasticNet(op dist.Operator, aty []float64, yNorm2 float64, opts ElasticNet
 		x2 := mat.Dot(x, x)
 		obj := mat.Dot(x, gx) - 2*mat.Dot(aty, x) + yNorm2 +
 			opts.Lambda1*mat.Norm1(x) + opts.Lambda2*x2
-		res.History = append(res.History, obj)
+		history[it] = obj
 		res.Objective = obj
 
 		if math.Abs(prevObj-obj) <= opts.Tol*math.Max(1, math.Abs(obj)) {
@@ -110,5 +112,6 @@ func ElasticNet(op dist.Operator, aty []float64, yNorm2 float64, opts ElasticNet
 			x[i] = softThreshold(x[i]-lr*grad[i], lr*opts.Lambda1)
 		}
 	}
+	res.History = history[:res.Iters]
 	return res
 }

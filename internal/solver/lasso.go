@@ -83,6 +83,9 @@ func Lasso(op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) Lass
 	gx := make([]float64, n)
 	grad := make([]float64, n)
 	accum := make([]float64, n)
+	// History is preallocated to the iteration cap so the hot loop below
+	// appends nothing; it is trimmed to the iterations actually run.
+	history := make([]float64, opts.MaxIters)
 	const adaEps = 1e-12
 
 	res := LassoResult{X: x}
@@ -100,7 +103,7 @@ func Lasso(op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) Lass
 		// Objective from the quantities already in hand:
 		// ‖Ax-y‖² = xᵀGx - 2·(Aᵀy)ᵀx + ‖y‖².
 		obj := mat.Dot(x, gx) - 2*mat.Dot(aty, x) + yNorm2 + opts.Lambda*mat.Norm1(x)
-		res.History = append(res.History, obj)
+		history[it] = obj
 		res.Objective = obj
 
 		if math.Abs(prevObj-obj) <= opts.Tol*math.Max(1, math.Abs(obj)) {
@@ -125,6 +128,7 @@ func Lasso(op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) Lass
 			x[i] = softThreshold(x[i]-lr*grad[i], lr*opts.Lambda)
 		}
 	}
+	res.History = history[:res.Iters]
 	return res
 }
 

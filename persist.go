@@ -48,6 +48,7 @@ func LoadModel(path string, platform Platform) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errcheck read-only open; Close cannot lose buffered writes
 	defer f.Close()
 	m, err := ReadModel(f, platform)
 	if err != nil {

@@ -2,9 +2,10 @@
 # ci.sh — the one-command gate for this repository.
 #
 # Runs, in order: build, go vet, gofmt (fails on any unformatted file), the
-# project invariant linter (cmd/extdict-lint), the full test suite, and the
-# race detector over the concurrency-bearing packages. Everything must pass
-# for a change to land.
+# project invariant linter (cmd/extdict-lint, all analyzers, SARIF report,
+# and a check that -fix would not change any file), the full test suite, and
+# the race detector over the concurrency-bearing packages. Everything must
+# pass for a change to land.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,8 +23,23 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== extdict-lint -fix (must be a no-op)"
+# Mirror the gofmt check for suggested fixes: apply -fix to a scratch copy of
+# the tree and fail if any file would change. The copy keeps local working
+# trees unmutated on failure.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cp -a . "$tmpdir/tree"
+rm -rf "$tmpdir/tree/.git"
+go run ./cmd/extdict-lint -C "$tmpdir/tree" -fix ./... >/dev/null || true
+if ! diff -rq -x .git "$tmpdir/tree" . >/dev/null; then
+    echo "extdict-lint: -fix would change these files; run 'go run ./cmd/extdict-lint -fix ./...' and commit:" >&2
+    diff -rq -x .git "$tmpdir/tree" . | sed 's/^/  /' >&2
+    exit 1
+fi
+
 echo "== extdict-lint"
-go run ./cmd/extdict-lint ./...
+go run ./cmd/extdict-lint -sarif extdict-lint.sarif ./...
 
 echo "== go test"
 go test ./...
