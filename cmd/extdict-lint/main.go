@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	extdict-lint [-json] [-fix] [-sarif report.sarif] [-checks spec] [-C dir] [packages...]
+//	extdict-lint [-json] [-fix] [-sarif report.sarif] [-trace trace.json] [-checks spec] [-C dir] [packages...]
 //
 // Package patterns follow the go tool's shape ("./...", "./internal/dist")
 // and are resolved relative to the module root; the default is the whole
@@ -20,6 +20,12 @@
 // touched files, and reports only the findings that remain; fixed findings
 // do not count toward the exit code. -sarif additionally writes the reported
 // findings as a SARIF 2.1.0 document for CI viewers.
+//
+// -trace writes the static collective schedule of every rank operator in
+// the loaded packages (the schedule analyzer's abstract interpretation) as
+// a JSON array, one entry per rank function, ordered by name. "-" writes to
+// stdout. CI diffs this against the checked-in golden trace so schedule
+// drift is caught at lint time.
 //
 // Exit codes are stable: 0 — no findings; 1 — findings reported (after -fix,
 // findings remaining); 2 — usage, load, or type-check error. Type-check
@@ -40,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"extdict/internal/lint"
@@ -57,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checks := fs.String("checks", "", `check selection: names to run, -name to exclude, "all" for the suite`)
 	fix := fs.Bool("fix", false, "apply suggested fixes and report only what remains")
 	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	tracePath := fs.String("trace", "", `write static collective schedules as JSON to this file ("-" for stdout)`)
 	chdir := fs.String("C", "", "run as if started in this directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,14 +106,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	prog := lint.NewProgram(pkgs)
 	typeErrors := 0
 	var findings []lint.Finding
+	var traces []lint.OpTrace
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			typeErrors++
 			fmt.Fprintf(stderr, "extdict-lint: type error: %v\n", terr)
 		}
-		findings = append(findings, lint.Run(pkg, analyzers)...)
+		findings = append(findings, lint.RunProgram(prog, pkg, analyzers)...)
+		if *tracePath != "" {
+			traces = append(traces, lint.Traces(prog, pkg)...)
+		}
+	}
+
+	if *tracePath != "" {
+		if err := writeTraces(stdout, *tracePath, traces); err != nil {
+			fmt.Fprintln(stderr, "extdict-lint:", err)
+			return 2
+		}
 	}
 
 	if *fix {
@@ -160,6 +180,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeTraces emits the static collective schedules as an indented JSON
+// array, sorted by function name across all loaded packages so the output
+// is diffable against a checked-in golden file.
+func writeTraces(stdout io.Writer, path string, traces []lint.OpTrace) error {
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Func < traces[j].Func })
+	if traces == nil {
+		traces = []lint.OpTrace{}
+	}
+	b, err := json.MarshalIndent(traces, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // selectChecks resolves a -checks spec into an analyzer list: bare names

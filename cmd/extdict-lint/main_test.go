@@ -16,7 +16,8 @@ func TestListPrintsSuite(t *testing.T) {
 		t.Fatalf("-list exited %d: %s", code, errb.String())
 	}
 	for _, check := range []string{"norand", "noclock", "goroutines", "flopaudit",
-		"collective", "hotalloc", "errcheck", "panicmsg", "nofloateq", "exporteddoc"} {
+		"collective", "hotalloc", "errcheck", "panicmsg", "nofloateq", "exporteddoc",
+		"schedule", "costmodel"} {
 		if !strings.Contains(out.String(), check) {
 			t.Errorf("-list output missing %q:\n%s", check, out.String())
 		}

@@ -34,6 +34,24 @@ type Stats struct {
 	ModeledEnergy float64
 	// Wall is the measured wall-clock time of the run.
 	Wall time.Duration
+
+	// Trace is the ordered collective schedule the run executed, one entry
+	// per phase, recorded only when the communicator's tracing is enabled
+	// (see Comm.EnableTrace). It is the runtime ground truth the static
+	// schedule analyzer's traces are cross-checked against.
+	Trace []PhaseTrace
+}
+
+// PhaseTrace records one executed collective phase. An Allreduce appears as
+// its two constituent phases (Reduce to 0, Broadcast from 0), exactly as
+// Algorithm 2 executes and charges them.
+type PhaseTrace struct {
+	// Op is the collective kind: "Reduce", "Broadcast", or "Barrier".
+	Op string `json:"op"`
+	// Root is the root rank (0 for Barrier).
+	Root int `json:"root"`
+	// Words is the vector length every rank passed (0 for Barrier).
+	Words int `json:"words"`
 }
 
 // Accumulate folds o into s: counts add, per-rank flops add element-wise
@@ -58,6 +76,8 @@ func (s *Stats) Accumulate(o Stats) {
 	s.ModeledTime += o.ModeledTime
 	s.ModeledEnergy += o.ModeledEnergy
 	s.Wall += o.Wall
+	// Sequential iterations: schedules concatenate.
+	s.Trace = append(s.Trace, o.Trace...)
 }
 
 // Comm is one communicator: P ranks sharing a collective rendezvous.
@@ -91,6 +111,12 @@ type Comm struct {
 	phases     int64
 	modeled    float64
 
+	// tracing records every phase into trace when enabled; the slice is
+	// truncated (capacity kept) on each Run so steady-state tracing does
+	// not allocate per iteration.
+	tracing bool
+	trace   []PhaseTrace
+
 	// aborted flips when any rank's body panics (or a collective detects
 	// misuse); failure records the first panic value. Blocked ranks are
 	// released with the same failure so a bad Run dies loudly instead of
@@ -107,6 +133,20 @@ const (
 	collBroadcast
 	collBarrier
 )
+
+// String names the collective kind as it appears in phase traces, matching
+// the Rank method that initiates it.
+func (k collKind) String() string {
+	switch k {
+	case collReduce:
+		return "Reduce"
+	case collBroadcast:
+		return "Broadcast"
+	case collBarrier:
+		return "Barrier"
+	}
+	return "none"
+}
 
 // NewComm returns a communicator for the given platform.
 func NewComm(p Platform) *Comm {
@@ -128,6 +168,12 @@ func NewComm(p Platform) *Comm {
 
 // P returns the number of ranks.
 func (c *Comm) P() int { return c.p }
+
+// EnableTrace turns on collective schedule recording: every subsequent Run
+// returns its ordered phase trace in Stats.Trace. Tracing is off by default
+// so long solver runs do not retain per-phase records. Must not be called
+// while a Run is in flight.
+func (c *Comm) EnableTrace() { c.tracing = true }
 
 // Platform returns the platform this communicator models.
 func (c *Comm) Platform() Platform { return c.platform }
@@ -181,6 +227,9 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 		ModeledTime:  c.modeled,
 		Wall:         wall,
 	}
+	if c.tracing {
+		st.Trace = append([]PhaseTrace(nil), c.trace...)
+	}
 	for _, f := range c.totalFlops {
 		st.TotalFlops += f
 		if f > st.MaxFlops {
@@ -206,6 +255,7 @@ func (c *Comm) reset() {
 	}
 	c.pathWords, c.totalWords, c.phases = 0, 0, 0
 	c.modeled = 0
+	c.trace = c.trace[:0]
 	c.aborted, c.failure = false, nil
 }
 
@@ -245,6 +295,9 @@ func (c *Comm) closePhase(vecLen int) {
 	c.modeled += maxT*c.platform.Cost.FlopTime +
 		float64(vecLen)*c.platform.WordTime() +
 		hops*c.platform.Latency()
+	if c.tracing {
+		c.trace = append(c.trace, PhaseTrace{Op: c.kind.String(), Root: c.root, Words: vecLen})
+	}
 	c.pathWords += int64(vecLen)
 	// Every non-root rank moves vecLen words in a reduce or broadcast.
 	c.totalWords += int64(vecLen) * int64(c.p-1)

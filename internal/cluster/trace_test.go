@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTraceRecording proves the recorded schedule matches the collectives
+// the body executed, in order, with Allreduce expanded into its two phases.
+func TestTraceRecording(t *testing.T) {
+	c := NewComm(NewPlatform(1, 4))
+	c.EnableTrace()
+	vec := make([]float64, 5)
+	st := c.Run(func(r *Rank) {
+		r.Reduce(vec[:3], 2)
+		r.Barrier()
+		r.Allreduce(vec)
+		r.Broadcast(vec[:1], 1)
+	})
+	want := []PhaseTrace{
+		{Op: "Reduce", Root: 2, Words: 3},
+		{Op: "Barrier", Root: 0, Words: 0},
+		{Op: "Reduce", Root: 0, Words: 5},
+		{Op: "Broadcast", Root: 0, Words: 5},
+		{Op: "Broadcast", Root: 1, Words: 1},
+	}
+	if !reflect.DeepEqual(st.Trace, want) {
+		t.Fatalf("trace = %v, want %v", st.Trace, want)
+	}
+	if st.Phases != int64(len(want)) {
+		t.Fatalf("Phases = %d, want %d", st.Phases, len(want))
+	}
+
+	// Traces reset per Run and concatenate under Accumulate.
+	st2 := c.Run(func(r *Rank) { r.Barrier() })
+	if len(st2.Trace) != 1 || st2.Trace[0].Op != "Barrier" {
+		t.Fatalf("second run trace = %v", st2.Trace)
+	}
+	st.Accumulate(st2)
+	if len(st.Trace) != len(want)+1 {
+		t.Fatalf("accumulated trace length = %d, want %d", len(st.Trace), len(want)+1)
+	}
+}
+
+// TestTraceOffByDefault proves untracked runs carry no trace.
+func TestTraceOffByDefault(t *testing.T) {
+	c := NewComm(NewPlatform(1, 2))
+	st := c.Run(func(r *Rank) { r.Barrier() })
+	if st.Trace != nil {
+		t.Fatalf("trace recorded without EnableTrace: %v", st.Trace)
+	}
+}

@@ -13,6 +13,8 @@ func All() []*Analyzer {
 		PanicMsg,
 		NoFloatEq,
 		ExportedDoc,
+		Schedule,
+		CostModel,
 	}
 }
 

@@ -33,6 +33,19 @@ func TestFlopAuditFixture(t *testing.T) {
 func TestCollectiveFixture(t *testing.T) {
 	runFixture(t, Collective, fixturePath("collective", "bad.go"), "extdict/internal/dist")
 	runFixture(t, Collective, fixturePath("collective", "allowed.go"), "extdict/internal/dist")
+	runFixture(t, Collective, fixturePath("collective", "interproc.go"), "extdict/internal/dist")
+}
+
+func TestScheduleFixture(t *testing.T) {
+	runFixture(t, Schedule, fixturePath("schedule", "fixture.go"), "extdict/internal/dist")
+	// Outside dist/solver no schedule is demanded.
+	runFixtureExpectNone(t, Schedule, fixturePath("schedule", "fixture.go"), "extdict/internal/experiments")
+}
+
+func TestCostModelFixture(t *testing.T) {
+	runFixture(t, CostModel, fixturePath("costmodel", "fixture.go"), "extdict/internal/dist")
+	// Outside dist/solver the accounting is not audited.
+	runFixtureExpectNone(t, CostModel, fixturePath("costmodel", "fixture.go"), "extdict/internal/experiments")
 }
 
 func TestHotAllocFixture(t *testing.T) {

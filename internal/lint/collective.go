@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -15,13 +14,12 @@ var collectiveNames = map[string]bool{
 	"Allreduce": true, "Reduce": true, "Broadcast": true, "Barrier": true,
 }
 
-// Collective is an intra-procedural SPMD symmetry analysis over every
-// function that takes a *cluster.Rank. It tracks which values are
-// rank-varying under a two-point lattice {uniform ⊑ rank-varying}, seeded by
-// r.ID and r.Node() (r.P() is uniform — every rank agrees on the world
-// size), and separately tracks rank-varying vector lengths (a make sized by
-// a tainted value, a slice expression with tainted bounds). It reports a
-// collective call that is
+// Collective is a whole-program SPMD symmetry analysis over every function
+// that takes a *cluster.Rank. It tracks which values are rank-varying under
+// the dep lattice of summary.go, seeded by r.ID and r.Node() (r.P() is
+// uniform — every rank agrees on the world size), and separately tracks
+// rank-varying vector lengths (a make sized by a tainted value, a slice
+// expression with tainted bounds). It reports a collective call that is
 //
 //   - control-dependent on a rank-varying condition (ranks disagree on
 //     whether, or which, collective runs — mismatched kind),
@@ -30,17 +28,26 @@ var collectiveNames = map[string]bool{
 //   - reachable after a divergent early exit (a return/break/continue under
 //     a rank-varying condition desynchronizes every later collective).
 //
-// Call results are treated as length-unknown, not length-tainted: a kernel
-// like blk.MulVec(x[lo:hi], nil) returns a block-shaped vector whose length
-// the analysis cannot see, and flagging it would drown the real findings.
-// The analysis is per-function: it does not follow calls, and a closure that
-// captures a rank (rather than receiving it as a parameter) is not analyzed.
+// The analysis is interprocedural: calls to declared functions resolve
+// through the program's per-function summaries, so a collective hidden
+// behind a helper, a rank-varying value returned from a call, a returned
+// slice of rank-varying length, and an indirect call through a collective
+// method value (op := r.Reduce; op(v, root)) are all caught. Findings
+// reached through a callee carry a "(reached inside <fn>)" suffix at the
+// call site. Results of calls outside the program (standard-library and
+// function-value calls) are uniform-valued unless an argument is tainted,
+// and length-unknown, treated uniform: a kernel like
+// blk.MulVec(x[lo:hi], nil) returns a block-shaped vector whose length the
+// analysis cannot see, and flagging it would drown the real findings. A
+// closure that captures a rank (rather than receiving it as a parameter) is
+// still not analyzed.
 var Collective = &Analyzer{
 	Name: "collective",
 	Doc: "collectives (Allreduce/Reduce/Broadcast/Barrier) must run " +
 		"symmetrically across ranks: not under a rank-varying condition, " +
 		"not with a rank-varying root or vector length, not after a " +
-		"divergent early exit",
+		"divergent early exit — including divergence hidden behind helper " +
+		"calls, resolved interprocedurally",
 	Run: func(p *Pass) {
 		info := p.Pkg.TypesInfo
 		if info == nil {
@@ -61,400 +68,50 @@ var Collective = &Analyzer{
 				if body == nil {
 					return true
 				}
-				ranks := rankParams(ft, info)
-				if len(ranks) == 0 {
+				if len(rankParams(ft, info)) == 0 {
 					return true
 				}
-				s := &spmdScan{p: p, info: info, rankObjs: make(map[types.Object]bool),
-					tainted: make(map[types.Object]bool), lenTainted: make(map[types.Object]bool)}
-				for _, r := range ranks {
-					s.rankObjs[r] = true
-				}
-				s.taintFixpoint(body)
-				s.stmtList(body.List, false)
+				reportCollectives(p, ft, body)
 				return true // literals nested in rank functions analyze on their own
 			})
 		})
 	},
 }
 
-// spmdScan is one function's symmetry analysis state.
-type spmdScan struct {
-	p        *Pass
-	info     *types.Info
-	rankObjs map[types.Object]bool // the *cluster.Rank parameters
-
-	tainted    map[types.Object]bool // variables holding rank-varying values
-	lenTainted map[types.Object]bool // slices of rank-varying length
-
-	exitDiverged bool // a rank-varying return has been passed in source order
-}
-
-// taintFixpoint propagates value- and length-taint through the body's
-// assignments until the sets stop growing, so later uses see taint no matter
-// where the defining statement sits.
-func (s *spmdScan) taintFixpoint(body *ast.BlockStmt) {
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(body, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.AssignStmt:
-				if len(st.Lhs) == len(st.Rhs) {
-					for i, lhs := range st.Lhs {
-						changed = s.assign(lhs, s.valueTainted(st.Rhs[i]), s.lengthTainted(st.Rhs[i])) || changed
-					}
-				}
-				// A multi-value RHS is a call or map/type lookup: results are
-				// unknown, hence uniform — nothing to record.
-			case *ast.RangeStmt:
-				// Ranging over a length-tainted slice (or a rank-varying
-				// count) gives the key rank-varying bounds.
-				if s.lengthTainted(st.X) || s.valueTainted(st.X) {
-					if st.Key != nil {
-						changed = s.assign(st.Key, true, false) || changed
-					}
-					if st.Value != nil {
-						changed = s.assign(st.Value, true, false) || changed
-					}
-				}
-			case *ast.GenDecl:
-				for _, spec := range st.Specs {
-					vs, ok := spec.(*ast.ValueSpec)
-					if !ok || len(vs.Values) != len(vs.Names) {
-						continue
-					}
-					for i, name := range vs.Names {
-						changed = s.assign(name, s.valueTainted(vs.Values[i]), s.lengthTainted(vs.Values[i])) || changed
-					}
-				}
-			}
-			return true
-		})
-	}
-}
-
-// assign records taint flowing into an lvalue, reporting whether a set grew.
-// Compound assignment (x += tainted) flows through valueTainted on the RHS
-// expression alone; the pre-existing taint of x is already in the set.
-func (s *spmdScan) assign(lhs ast.Expr, val, length bool) bool {
-	id, ok := lhs.(*ast.Ident)
-	if !ok || id.Name == "_" {
-		return false
-	}
-	obj := s.info.Defs[id]
-	if obj == nil {
-		obj = s.info.Uses[id]
-	}
-	if obj == nil {
-		return false
-	}
-	changed := false
-	if val && !s.tainted[obj] {
-		s.tainted[obj] = true
-		changed = true
-	}
-	if length && !s.lenTainted[obj] {
-		s.lenTainted[obj] = true
-		changed = true
-	}
-	return changed
-}
-
-// rankMethod returns the method name when call is r.<Method>(...) on a
-// *cluster.Rank value, else "".
-func (s *spmdScan) rankMethod(call *ast.CallExpr) string {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return ""
-	}
-	if t := s.info.TypeOf(sel.X); t != nil && isRankPtr(t) {
-		return sel.Sel.Name
-	}
-	return ""
-}
-
-// valueTainted reports whether e may evaluate to different values on
-// different ranks.
-func (s *spmdScan) valueTainted(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.Ident:
-		obj := s.info.Uses[e]
-		return obj != nil && s.tainted[obj]
-	case *ast.SelectorExpr:
-		// r.ID is the seed; a field of a tainted value stays tainted.
-		if t := s.info.TypeOf(e.X); t != nil && isRankPtr(t) {
-			return e.Sel.Name == "ID"
+// reportCollectives runs the shared SPMD walker over one rank function in
+// reporting mode — parameters other than the rank are uniform, so a finding
+// is an effect whose dep is inherent — and reports each violated invariant
+// with the same message a direct violation gets, suffixed with the helper
+// chain when the collective is reached through a call.
+func reportCollectives(p *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	s := newSpmd(p.Pkg, func(call *ast.CallExpr) (*funcNode, *summary) {
+		return p.Prog.summaryFor(p.Pkg, call)
+	})
+	s.analyze(ft, body)
+	sortEffects(s.effects)
+	for _, e := range s.effects {
+		via := describeVia(e.via)
+		switch {
+		case e.cond.inherent:
+			p.Reportf(e.pos,
+				"%s is control-dependent on a rank-varying condition%s; ranks may disagree on which collective runs (cluster panics on mismatched kind)", e.op, via)
+		case e.exit.inherent:
+			p.Reportf(e.pos,
+				"%s follows a divergent early exit%s: a rank-varying return above means not every rank reaches this collective", e.op, via)
 		}
-		return s.valueTainted(e.X)
-	case *ast.CallExpr:
-		switch s.rankMethod(e) {
-		case "Node":
-			return true
-		case "P", "AddFlops", "Allreduce", "Reduce", "Broadcast", "Barrier":
-			return false // uniform by contract (collectives return nothing)
+		if e.root.inherent {
+			p.Reportf(e.rootPos,
+				"%s root is rank-varying%s; every rank must name the same root (cluster panics on mismatched root)", e.op, via)
 		}
-		for _, arg := range e.Args {
-			if s.valueTainted(arg) {
-				return true
-			}
+		if e.length.inherent {
+			p.Reportf(e.lenPos,
+				"%s vector length is rank-varying%s; collectives require equal lengths on every rank (cluster panics on mismatched length)", e.op, via)
 		}
-		return false
-	case *ast.BinaryExpr:
-		return s.valueTainted(e.X) || s.valueTainted(e.Y)
-	case *ast.UnaryExpr:
-		return s.valueTainted(e.X)
-	case *ast.ParenExpr:
-		return s.valueTainted(e.X)
-	case *ast.IndexExpr:
-		return s.valueTainted(e.X) || s.valueTainted(e.Index)
-	case *ast.SliceExpr:
-		// A rank-local window into a shared vector holds rank-varying values.
-		if s.valueTainted(e.X) {
-			return true
-		}
-		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
-			if b != nil && s.valueTainted(b) {
-				return true
-			}
-		}
-		return false
-	case *ast.StarExpr:
-		return s.valueTainted(e.X)
 	}
-	return false
-}
-
-// lengthTainted reports whether the slice e may have different lengths on
-// different ranks. Call results are length-unknown and treated as uniform.
-func (s *spmdScan) lengthTainted(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.Ident:
-		obj := s.info.Uses[e]
-		return obj != nil && s.lenTainted[obj]
-	case *ast.ParenExpr:
-		return s.lengthTainted(e.X)
-	case *ast.SliceExpr:
-		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
-			if b != nil && s.valueTainted(b) {
-				return true
-			}
-		}
-		return s.lengthTainted(e.X)
-	case *ast.CallExpr:
-		if id, ok := e.Fun.(*ast.Ident); ok && isBuiltinObj(s.info.Uses[id]) {
-			switch id.Name {
-			case "make":
-				return len(e.Args) >= 2 && s.valueTainted(e.Args[1])
-			case "append":
-				return len(e.Args) > 0 && s.lengthTainted(e.Args[0])
-			}
-		}
-		return false
-	}
-	return false
 }
 
 // isBuiltinObj reports whether obj resolves to a predeclared builtin.
 func isBuiltinObj(obj types.Object) bool {
 	_, ok := obj.(*types.Builtin)
 	return ok
-}
-
-// stmtList walks statements in source order. divergent means control already
-// depends on a rank-varying condition; s.exitDiverged persists across the
-// walk once a rank-varying return has been seen.
-func (s *spmdScan) stmtList(list []ast.Stmt, divergent bool) {
-	for _, st := range list {
-		s.stmt(st, divergent)
-	}
-}
-
-func (s *spmdScan) stmt(st ast.Stmt, divergent bool) {
-	switch st := st.(type) {
-	case *ast.BlockStmt:
-		s.stmtList(st.List, divergent)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			s.stmt(st.Init, divergent)
-		}
-		s.checkExpr(st.Cond, divergent)
-		branchDiv := divergent || s.valueTainted(st.Cond)
-		s.stmt(st.Body, branchDiv)
-		if st.Else != nil {
-			s.stmt(st.Else, branchDiv)
-		}
-	case *ast.ForStmt:
-		if st.Init != nil {
-			s.stmt(st.Init, divergent)
-		}
-		loopDiv := divergent
-		if st.Cond != nil {
-			s.checkExpr(st.Cond, divergent)
-			loopDiv = loopDiv || s.valueTainted(st.Cond)
-		}
-		// A break/continue under a rank-varying condition desynchronizes the
-		// whole loop: iteration counts differ, so every collective inside —
-		// even before the branch statement — can mismatch.
-		loopDiv = loopDiv || s.loopExitDiverges(st.Body)
-		s.stmt(st.Body, loopDiv)
-		if st.Post != nil {
-			s.stmt(st.Post, loopDiv)
-		}
-	case *ast.RangeStmt:
-		s.checkExpr(st.X, divergent)
-		loopDiv := divergent || s.lengthTainted(st.X) || s.valueTainted(st.X) || s.loopExitDiverges(st.Body)
-		s.stmt(st.Body, loopDiv)
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			s.stmt(st.Init, divergent)
-		}
-		caseDiv := divergent
-		if st.Tag != nil {
-			s.checkExpr(st.Tag, divergent)
-			caseDiv = caseDiv || s.valueTainted(st.Tag)
-		}
-		for _, c := range st.Body.List {
-			cc := c.(*ast.CaseClause)
-			d := caseDiv
-			for _, e := range cc.List {
-				if s.valueTainted(e) {
-					d = true
-				}
-			}
-			s.stmtList(cc.Body, d)
-		}
-	case *ast.TypeSwitchStmt:
-		s.stmt(st.Body, divergent)
-	case *ast.SelectStmt:
-		s.stmt(st.Body, divergent)
-	case *ast.CommClause:
-		s.stmtList(st.Body, divergent)
-	case *ast.ReturnStmt:
-		for _, e := range st.Results {
-			s.checkExpr(e, divergent)
-		}
-		if divergent {
-			s.exitDiverged = true
-		}
-	case *ast.BranchStmt:
-		// break/continue divergence is handled by loopExitDiverges; a goto
-		// under a tainted condition is treated like a return.
-		if divergent && st.Tok == token.GOTO {
-			s.exitDiverged = true
-		}
-	case *ast.ExprStmt:
-		s.checkExpr(st.X, divergent)
-	case *ast.AssignStmt:
-		for _, e := range st.Rhs {
-			s.checkExpr(e, divergent)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						s.checkExpr(v, divergent)
-					}
-				}
-			}
-		}
-	case *ast.DeferStmt:
-		s.checkExpr(st.Call, divergent)
-	case *ast.GoStmt:
-		s.checkExpr(st.Call, divergent)
-	case *ast.LabeledStmt:
-		s.stmt(st.Stmt, divergent)
-	case *ast.SendStmt:
-		s.checkExpr(st.Value, divergent)
-	}
-}
-
-// loopExitDiverges pre-scans a loop body for a break or continue under a
-// rank-varying condition, without descending into nested loops (their
-// break/continue bind to themselves) or function literals.
-func (s *spmdScan) loopExitDiverges(body *ast.BlockStmt) bool {
-	var walk func(st ast.Stmt, tainted bool) bool
-	walkList := func(list []ast.Stmt, tainted bool) bool {
-		for _, st := range list {
-			if walk(st, tainted) {
-				return true
-			}
-		}
-		return false
-	}
-	walk = func(st ast.Stmt, tainted bool) bool {
-		switch st := st.(type) {
-		case *ast.BranchStmt:
-			return tainted && (st.Tok == token.BREAK || st.Tok == token.CONTINUE)
-		case *ast.BlockStmt:
-			return walkList(st.List, tainted)
-		case *ast.IfStmt:
-			t := tainted || s.valueTainted(st.Cond)
-			if walk(st.Body, t) {
-				return true
-			}
-			return st.Else != nil && walk(st.Else, t)
-		case *ast.SwitchStmt:
-			t := tainted || (st.Tag != nil && s.valueTainted(st.Tag))
-			for _, c := range st.Body.List {
-				cc := c.(*ast.CaseClause)
-				d := t
-				for _, e := range cc.List {
-					if s.valueTainted(e) {
-						d = true
-					}
-				}
-				// break inside a switch binds to the switch, not the loop.
-				for _, inner := range cc.Body {
-					if bs, ok := inner.(*ast.BranchStmt); ok && bs.Tok == token.BREAK && bs.Label == nil {
-						continue
-					} else if walk(inner, d) {
-						return true
-					}
-				}
-			}
-			return false
-		case *ast.LabeledStmt:
-			return walk(st.Stmt, tainted)
-		}
-		return false
-	}
-	return walkList(body.List, false)
-}
-
-// checkExpr descends into an expression reporting every collective call it
-// contains, given the control context it executes under.
-func (s *spmdScan) checkExpr(e ast.Expr, divergent bool) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // analyzed on its own if it takes a rank
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		name := s.rankMethod(call)
-		if !collectiveNames[name] {
-			return true
-		}
-		switch {
-		case divergent:
-			s.p.Reportf(call.Pos(),
-				"%s is control-dependent on a rank-varying condition; ranks may disagree on which collective runs (cluster panics on mismatched kind)", name)
-		case s.exitDiverged:
-			s.p.Reportf(call.Pos(),
-				"%s follows a divergent early exit: a rank-varying return above means not every rank reaches this collective", name)
-		}
-		if name == "Reduce" || name == "Broadcast" {
-			if len(call.Args) == 2 && s.valueTainted(call.Args[1]) {
-				s.p.Reportf(call.Args[1].Pos(),
-					"%s root is rank-varying; every rank must name the same root (cluster panics on mismatched root)", name)
-			}
-		}
-		if name != "Barrier" && len(call.Args) >= 1 && s.lengthTainted(call.Args[0]) {
-			s.p.Reportf(call.Args[0].Pos(),
-				"%s vector length is rank-varying; collectives require equal lengths on every rank (cluster panics on mismatched length)", name)
-		}
-		return true
-	})
 }

@@ -122,6 +122,11 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Prog is the whole-program context (call graph and function summaries).
+	// Run populates it with a single-package program; RunProgram shares one
+	// program across every package, so interprocedural analyzers see helpers
+	// in other packages. Never nil for analyzers run through Run/RunProgram.
+	Prog *Program
 
 	file     *ast.File // file currently being walked (set by the engine)
 	findings []Finding
@@ -211,12 +216,21 @@ func ImportName(file *ast.File, path string) (string, bool) {
 // Run executes every analyzer over the package and returns the surviving
 // findings, sorted by position: suppressed findings are dropped, and
 // malformed ignore directives are reported under the "directive" check.
+// Interprocedural analyzers see a single-package program; use RunProgram to
+// resolve helpers across package boundaries.
 func Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	return RunProgram(NewProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunProgram executes every analyzer over one package of a whole-module
+// program, so interprocedural analyzers (collective, schedule, costmodel)
+// resolve calls into every package the program was built from.
+func RunProgram(prog *Program, pkg *Package, analyzers []*Analyzer) []Finding {
 	dirs, bad := collectDirectives(pkg)
 	var out []Finding
 	out = append(out, bad...)
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
 		a.Run(pass)
 		for _, f := range pass.findings {
 			if !dirs.suppresses(f) {

@@ -1,0 +1,137 @@
+// Package fixture exercises the interprocedural half of collective: run as
+// extdict/internal/dist. Every divergence here is invisible to a purely
+// intra-procedural scan — the collective, the rank-varying value, or the
+// rank-varying length hides behind a call — and is resolved through the
+// whole-program function summaries.
+package fixture
+
+import "extdict/internal/cluster"
+
+// doReduce is itself symmetric: analyzed alone it reports nothing.
+func doReduce(r *cluster.Rank, v []float64) {
+	r.Reduce(v, 0)
+}
+
+// hiddenKind: the collective runs inside a helper, but the call site is
+// control-dependent on the rank — the classic bug the intra-procedural
+// analyzer missed.
+func hiddenKind(r *cluster.Rank, v []float64) {
+	if r.ID == 0 {
+		doReduce(r, v) // want "Reduce is control-dependent on a rank-varying condition .reached inside doReduce."
+	}
+}
+
+// exitThenHelper: a divergent early exit desynchronizes a collective even
+// when the collective hides behind a helper below it.
+func exitThenHelper(r *cluster.Rank, v []float64) {
+	if r.ID > 1 {
+		return
+	}
+	doReduce(r, v) // want "Reduce follows a divergent early exit .reached inside doReduce."
+}
+
+// myRoot returns a rank-varying value.
+func myRoot(r *cluster.Rank) int {
+	return r.ID % 2
+}
+
+// returnedRoot: the mismatched root comes out of a function call.
+func returnedRoot(r *cluster.Rank, v []float64) {
+	r.Broadcast(v, myRoot(r)) // want "Broadcast root is rank-varying"
+}
+
+// localPart returns a slice whose length varies by rank.
+func localPart(r *cluster.Rank, v []float64) []float64 {
+	return v[:r.ID+1]
+}
+
+// returnedLength: the mismatched vector length comes out of a function call.
+func returnedLength(r *cluster.Rank, v []float64) {
+	r.Allreduce(localPart(r, v)) // want "Allreduce vector length is rank-varying"
+}
+
+// reduceAt forwards its arguments into a collective; symmetric on its own.
+func reduceAt(r *cluster.Rank, v []float64, root int) {
+	r.Reduce(v, root)
+}
+
+// taintedArgRoot: the rank-varying root flows through a helper parameter.
+func taintedArgRoot(r *cluster.Rank, v []float64) {
+	reduceAt(r, v, r.ID%2) // want "Reduce root is rank-varying .reached inside reduceAt."
+}
+
+// share forwards a vector into a collective; symmetric on its own.
+func share(r *cluster.Rank, w []float64) {
+	r.Allreduce(w)
+}
+
+// taintedArgLength: the rank-varying length flows through a helper parameter.
+func taintedArgLength(r *cluster.Rank) {
+	share(r, make([]float64, r.ID+1)) // want "Allreduce vector length is rank-varying .reached inside share."
+}
+
+// indirect: a collective called through a method value still counts.
+func indirect(r *cluster.Rank, v []float64) {
+	op := r.Reduce
+	op(v, r.ID%2) // want "Reduce root is rank-varying"
+}
+
+// level2 and level1 bury a collective two calls deep.
+func level2(r *cluster.Rank) {
+	r.Barrier()
+}
+
+func level1(r *cluster.Rank) {
+	level2(r)
+}
+
+// chained: divergence at the top of a two-level helper chain is still
+// reported, attributed to the immediate callee.
+func chained(r *cluster.Rank) {
+	if r.Node() == 1 {
+		level1(r) // want "Barrier is control-dependent on a rank-varying condition .reached inside level1."
+	}
+}
+
+// --- negative space: helpers used symmetrically must stay silent ---
+
+// uniformHelperUse: calling a collective-bearing helper symmetrically with
+// uniform arguments is the intended pattern.
+func uniformHelperUse(r *cluster.Rank, v []float64) {
+	doReduce(r, v)
+	reduceAt(r, v, 0)
+	share(r, v)
+	level1(r)
+}
+
+// zeroRoot returns a uniform root.
+func zeroRoot() int { return 0 }
+
+// uniformReturnedRoot: a call-returned root that cannot vary is fine.
+func uniformReturnedRoot(r *cluster.Rank, v []float64) {
+	r.Broadcast(v, zeroRoot())
+}
+
+// scratch sizes a buffer by an integer argument: the returned length varies
+// only if the size argument does.
+func scratch(n int) []float64 { return make([]float64, n) }
+
+// uniformScratchLen: sizing the helper's buffer by a uniform length keeps
+// the collective symmetric.
+func uniformScratchLen(r *cluster.Rank, v []float64) {
+	r.Allreduce(scratch(len(v)))
+}
+
+// guarded runs its collective under a condition on its own arguments —
+// divergent only if the caller passes rank-varying data.
+func guarded(r *cluster.Rank, v []float64) {
+	if len(v) > 0 {
+		r.Allreduce(v)
+	}
+}
+
+// uniformGuardUse: uniform arguments keep the helper's internal guard
+// uniform too.
+func uniformGuardUse(r *cluster.Rank, v []float64) {
+	guarded(r, v)
+}

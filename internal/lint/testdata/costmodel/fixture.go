@@ -1,0 +1,69 @@
+// Package fixture exercises costmodel: run as extdict/internal/dist. Each
+// rank body's AddFlops claims are checked against the FLOP expression
+// derived from the preceding loop nests; mismatched claims, uncovered
+// kernels, unsupported in-loop accounting, and underived loop bounds are
+// all flagged, while an exact claim stays quiet.
+package fixture
+
+import "extdict/internal/cluster"
+
+// covered: the loop does one multiply and one add per element and the claim
+// says exactly that — no finding.
+func covered(r *cluster.Rank, x, y []float64) {
+	for i := range x {
+		y[i] += 2 * x[i]
+	}
+	r.AddFlops(2 * int64(len(x)))
+}
+
+// undercount: the loop performs one flop per element but the claim doubles
+// it.
+func undercount(r *cluster.Rank, x []float64) {
+	for i := range x {
+		x[i] *= 2
+	}
+	r.AddFlops(2 * int64(len(x))) // want "AddFlops claims"
+}
+
+// inLoop: accounting inside the loop cannot be folded into a static
+// per-region expression.
+func inLoop(r *cluster.Rank, x []float64) {
+	for i := range x { // want "AddFlops inside a loop"
+		x[i] *= 2
+		r.AddFlops(1)
+	}
+}
+
+// uncovered: float work with no AddFlops at all — the cost model misses
+// this kernel entirely.
+func uncovered(r *cluster.Rank, x, y []float64) {
+	for i := range x { // want "not covered by any AddFlops"
+		y[i] += x[i]
+	}
+}
+
+func mystery() int { return 3 }
+
+// opaqueTrip: the loop bound is a call the analyzer cannot resolve, so the
+// derived count is unknown and the claim cannot be checked.
+func opaqueTrip(r *cluster.Rank, x []float64, n int) {
+	for i := 0; i < mystery(); i++ {
+		x[0] += 1
+	}
+	r.AddFlops(int64(n)) // want "cannot derive a symbolic flop count"
+}
+
+// guarded: asymmetric accounting under a rank guard is checked as its own
+// region; an exact claim inside the guard stays quiet, a wrong one fires.
+func guarded(r *cluster.Rank, x, y []float64) {
+	for i := range x {
+		y[i] += 2 * x[i]
+	}
+	r.AddFlops(2 * int64(len(x)))
+	if r.ID == 0 {
+		for i := range x {
+			y[i] += x[i]
+		}
+		r.AddFlops(int64(len(x)) * 3) // want "AddFlops claims"
+	}
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises schedule: run as extdict/internal/dist. The
+// analyzer must reject rank bodies whose collective trace varies across
+// ranks, flag collectives whose vector length has no constructor-derived
+// symbol, and stay quiet when the schedule is rank-invariant with lengths
+// resolved through the builder idiom.
+package fixture
+
+import "extdict/internal/cluster"
+
+// sized allocates its buffer through the constructor, so the rank body's
+// collective resolves to the symbolic length "n".
+type sized struct {
+	n   int
+	buf []float64
+}
+
+func newSized(n int) *sized {
+	s := &sized{n: n}
+	s.buf = make([]float64, n)
+	return s
+}
+
+// Resolved: rank-invariant schedule, length "n" from the constructor.
+func (s *sized) run(r *cluster.Rank) {
+	r.Allreduce(s.buf)
+}
+
+// opaque's buffer is never sized by a constructor the analyzer can see.
+type opaque struct {
+	buf []float64
+}
+
+// unresolved: the schedule itself is rank-invariant, but the vector length
+// has no symbolic dimension, so the trace cannot be checked.
+func (o *opaque) run(r *cluster.Rank) {
+	r.Allreduce(o.buf) // want "cannot resolve a symbolic vector length"
+}
+
+// varyingRoot has no rank-invariant trace: the Broadcast root differs by
+// rank, so the static schedule differs across ranks.
+func varyingRoot(r *cluster.Rank, v []float64) { // want "no rank-invariant static collective trace"
+	root := r.ID % 2
+	r.Broadcast(v, root)
+}
+
+// varyingPosition has no rank-invariant trace either: half the ranks skip
+// the collective entirely.
+func varyingPosition(r *cluster.Rank, v []float64) { // want "no rank-invariant static collective trace"
+	if r.ID%2 == 0 {
+		r.Allreduce(v)
+	}
+}
+
+// captured slice parameters trace under their own length symbol; this is
+// rank-invariant and fully resolved, so no finding.
+func paramLen(r *cluster.Rank, v []float64) {
+	r.Reduce(v, 0)
+	r.Broadcast(v, 0)
+}

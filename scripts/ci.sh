@@ -3,7 +3,8 @@
 #
 # Runs, in order: build, go vet, gofmt (fails on any unformatted file), the
 # project invariant linter (cmd/extdict-lint, all analyzers, SARIF report,
-# and a check that -fix would not change any file), the full test suite, and
+# and a check that -fix would not change any file), a diff of the static
+# collective schedule (-trace) against its golden, the full test suite, and
 # the race detector over the concurrency-bearing packages. Everything must
 # pass for a change to land.
 set -euo pipefail
@@ -40,6 +41,16 @@ fi
 
 echo "== extdict-lint"
 go run ./cmd/extdict-lint -sarif extdict-lint.sarif ./...
+
+echo "== extdict-lint -trace (static schedule must match the golden)"
+# The schedule analyzer's static collective traces are a reviewed artifact:
+# any drift in an operator's reduce/broadcast schedule must be deliberate.
+go run ./cmd/extdict-lint -checks schedule -trace "$tmpdir/trace.json" ./...
+if ! diff -u internal/lint/testdata/schedule.golden.json "$tmpdir/trace.json"; then
+    echo "extdict-lint: static collective schedule drifted; if intended, regenerate with" >&2
+    echo "  go run ./cmd/extdict-lint -checks schedule -trace internal/lint/testdata/schedule.golden.json ./..." >&2
+    exit 1
+fi
 
 echo "== go test"
 go test ./...
