@@ -10,6 +10,7 @@
 //	extdict power -in data.edm -eps 0.1 -k 10 -nodes 2 -cores 8
 //	extdict power -in data.edm -raw -k 10                # untransformed baseline
 //	extdict lasso -in data.edm -y obs.csv -lambda 0.05
+//	extdict lasso -in data.edm -y obs.csv -faults 7          # chaos-mode solve with recovery
 //	extdict cluster -in data.edm -k 3
 //
 // Matrices are CSV (.csv) or the EDM binary format (.edm); columns are
@@ -26,7 +27,6 @@ import (
 
 	"extdict/internal/cluster"
 	"extdict/internal/dataset"
-	"extdict/internal/dist"
 	"extdict/internal/exd"
 	"extdict/internal/mat"
 	"extdict/internal/matio"
@@ -221,6 +221,7 @@ func cmdPower(args []string) error {
 	k := fs.Int("k", 10, "number of eigenvalues")
 	raw := fs.Bool("raw", false, "iterate on the untransformed AᵀA baseline")
 	seed := fs.Uint64("seed", 1, "random seed")
+	faults := fs.Uint64("faults", 0, "inject a deterministic fault schedule drawn from this seed and recover through the supervisor (0 = off)")
 	nodes, cores := platformFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -234,23 +235,28 @@ func cmdPower(args []string) error {
 	}
 	plat := cluster.NewPlatform(*nodes, *cores)
 
-	var op dist.Operator
-	if *raw {
-		op = dist.NewDenseGram(cluster.NewComm(plat), a)
-	} else {
-		tr, _, err := tune.TuneAndFit(a, plat, tune.Config{
-			Epsilon: *eps, Workers: runtime.GOMAXPROCS(0), Seed: *seed,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("preprocessed: L=%d alpha=%.3f\n", tr.L(), tr.Alpha())
-		op, err = dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
-		if err != nil {
-			return err
-		}
+	build, err := buildOperatorOn(a, plat, *eps, *raw, 0, *seed)
+	if err != nil {
+		return err
 	}
-	res := solver.PowerMethod(op, solver.PowerOpts{Components: *k, Seed: *seed})
+	op := build(cluster.NewComm(plat))
+	opts := solver.PowerOpts{Components: *k, Seed: *seed}
+	var res solver.PowerResult
+	if *faults != 0 {
+		// Each power iteration is one Allreduce = two collective phases;
+		// deflation runs the default iteration budget per component.
+		plan := cliFaultPlan(*faults, plat.Topology.P(), int64(2*300*(*k)))
+		comm := cluster.NewComm(plat)
+		comm.InstallFaultPlan(plan)
+		var rec solver.Recovery
+		res, rec, err = solver.SupervisedPower(comm, build, opts, solver.SupervisorOpts{})
+		if err != nil {
+			return err
+		}
+		printRecovery(plan, rec)
+	} else {
+		res = solver.PowerMethod(op, opts)
+	}
 	fmt.Printf("%s on %s: %d iterations, modeled time %.3f ms, wall %v\n",
 		op.Name(), plat.Topology, res.Iters,
 		res.Stats.ModeledTime*1e3, res.Stats.Wall.Round(time.Microsecond))

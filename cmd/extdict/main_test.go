@@ -48,6 +48,10 @@ func TestEndToEndPipeline(t *testing.T) {
 		{"lasso", "-in", data, "-y", yPath, "-raw", "-iters", "20", "-out", filepath.Join(dir, "x.csv")},
 		{"lasso", "-in", data, "-y", yPath, "-sgd", "16", "-iters", "20"},
 		{"cluster", "-in", data, "-k", "2", "-raw"},
+		// Chaos mode: the supervisor must absorb the injected faults and
+		// still return a solution.
+		{"lasso", "-in", data, "-y", yPath, "-raw", "-iters", "60", "-faults", "7", "-cores", "4"},
+		{"power", "-in", data, "-k", "2", "-raw", "-faults", "7", "-cores", "4"},
 	}
 	for i, args := range steps {
 		// Write the observation vector once the dataset exists (the gen

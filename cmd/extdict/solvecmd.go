@@ -27,6 +27,7 @@ func cmdLasso(args []string) error {
 	sgd := fs.Int("sgd", 0, "use the SGD baseline with this batch size")
 	iters := fs.Int("iters", 500, "maximum iterations")
 	seed := fs.Uint64("seed", 1, "random seed")
+	faults := fs.Uint64("faults", 0, "inject a deterministic fault schedule drawn from this seed and recover through the supervisor (0 = off)")
 	out := fs.String("out", "", "optional path to write the solution vector")
 	nodes, cores := platformFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -45,17 +46,32 @@ func cmdLasso(args []string) error {
 	}
 	plat := cluster.NewPlatform(*nodes, *cores)
 
-	op, err := buildOperator(a, plat, *eps, *raw, *sgd, *seed)
+	build, err := buildOperatorOn(a, plat, *eps, *raw, *sgd, *seed)
 	if err != nil {
 		return err
 	}
 	if *lambda <= 0 {
 		*lambda = 0.05 * mat.NormInf(a.MulVecT(y, nil))
 	}
+	opts := solver.LassoOpts{Lambda: *lambda, MaxIters: *iters}
+	aty, y2 := a.MulVecT(y, nil), mat.Dot(y, y)
+	op := build(cluster.NewComm(plat))
 	sw := perf.StartWall()
-	res := solver.Lasso(op, a.MulVecT(y, nil), mat.Dot(y, y), solver.LassoOpts{
-		Lambda: *lambda, MaxIters: *iters,
-	})
+	var res solver.LassoResult
+	if *faults != 0 {
+		// Each lasso iteration is one Allreduce = two collective phases.
+		plan := cliFaultPlan(*faults, plat.Topology.P(), int64(2*(*iters)))
+		comm := cluster.NewComm(plat)
+		comm.InstallFaultPlan(plan)
+		var rec solver.Recovery
+		res, rec, err = solver.SupervisedLasso(comm, build, aty, y2, opts, solver.SupervisorOpts{})
+		if err != nil {
+			return err
+		}
+		printRecovery(plan, rec)
+	} else {
+		res = solver.Lasso(op, aty, y2, opts)
+	}
 	nz := 0
 	for _, v := range res.X {
 		if v != 0 {
@@ -112,13 +128,17 @@ func cmdCluster(args []string) error {
 	return nil
 }
 
-// buildOperator assembles the requested Gram operator over a.
-func buildOperator(a *mat.Dense, plat cluster.Platform, eps float64, raw bool, sgdBatch int, seed uint64) (dist.Operator, error) {
+// buildOperatorOn assembles a factory for the requested Gram operator over
+// a. The factory constructs the operator on any communicator, which is what
+// lets the fault supervisor rebuild it on the shrunk survivor communicator
+// after a crash; the expensive tune-and-fit preprocessing runs once, up
+// front, and the factory only re-partitions.
+func buildOperatorOn(a *mat.Dense, plat cluster.Platform, eps float64, raw bool, sgdBatch int, seed uint64) (func(*cluster.Comm) dist.Operator, error) {
 	switch {
 	case raw:
-		return dist.NewDenseGram(cluster.NewComm(plat), a), nil
+		return func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, a) }, nil
 	case sgdBatch > 0:
-		return dist.NewBatchGram(cluster.NewComm(plat), a, sgdBatch, seed), nil
+		return func(c *cluster.Comm) dist.Operator { return dist.NewBatchGram(c, a, sgdBatch, seed) }, nil
 	default:
 		tr, _, err := tune.TuneAndFit(a, plat, tune.Config{
 			Epsilon: eps, Workers: runtime.GOMAXPROCS(0), Seed: seed,
@@ -127,7 +147,55 @@ func buildOperator(a *mat.Dense, plat cluster.Platform, eps float64, raw bool, s
 			return nil, err
 		}
 		fmt.Printf("preprocessed: L=%d alpha=%.3f\n", tr.L(), tr.Alpha())
-		return dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
+		// Validate the shapes once so the factory cannot fail later.
+		if _, err := dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C); err != nil {
+			return nil, err
+		}
+		return func(c *cluster.Comm) dist.Operator {
+			g, err := dist.NewExDGram(c, tr.D, tr.C)
+			if err != nil {
+				panic(err) // unreachable: shapes validated above
+			}
+			return g
+		}, nil
+	}
+}
+
+// buildOperator assembles the requested Gram operator over a on a fresh
+// communicator for the given platform.
+func buildOperator(a *mat.Dense, plat cluster.Platform, eps float64, raw bool, sgdBatch int, seed uint64) (dist.Operator, error) {
+	build, err := buildOperatorOn(a, plat, eps, raw, sgdBatch, seed)
+	if err != nil {
+		return nil, err
+	}
+	return build(cluster.NewComm(plat)), nil
+}
+
+// cliFaultPlan draws the chaos schedule the -faults flag injects: one crash
+// (when there is a rank to spare), a few slowdowns, and a couple of Reduce
+// corruptions spread over the run's expected collective schedule.
+func cliFaultPlan(seed uint64, p int, horizon int64) *cluster.FaultPlan {
+	crashes := 1
+	if p <= 1 {
+		crashes = 0 // a solo rank has no survivors to retry on
+	}
+	if horizon < 2 {
+		horizon = 2
+	}
+	return cluster.RandomFaultPlan(seed, cluster.FaultConfig{
+		P:       p,
+		Horizon: horizon,
+		Crashes: crashes, Slowdowns: 3, Corruptions: 2,
+		MaxDelay: 0.25, MaxDelta: 0.01, MaxWord: 1 << 20,
+	})
+}
+
+// printRecovery reports what the supervisor absorbed during a faulted solve.
+func printRecovery(plan *cluster.FaultPlan, rec solver.Recovery) {
+	fmt.Printf("faults: %d scheduled from seed %d; %d restarts, backoff %.3f ms, finished on P=%d\n",
+		len(plan.Faults), plan.Seed, rec.Restarts, rec.BackoffTime*1e3, rec.FinalP)
+	for _, cr := range rec.Crashes {
+		fmt.Printf("  recovered: %v\n", error(cr))
 	}
 }
 

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fillTestVec writes a deterministic, rank- and word-dependent pattern so
+// word-for-word comparisons are meaningful (no symmetry to hide bugs behind).
+func fillTestVec(vec []float64, id int) {
+	for i := range vec {
+		vec[i] = float64(id+1) * math.Sqrt(float64(i%13)+1)
+	}
+}
+
+// runAllreduce executes one Allreduce per rank and returns every rank's
+// resulting vector plus the run's Stats.
+func runAllreduce(c *Comm, words int) ([][]float64, Stats) {
+	out := make([][]float64, c.P())
+	st := c.Run(func(r *Rank) {
+		vec := make([]float64, words)
+		fillTestVec(vec, r.ID)
+		r.Allreduce(vec)
+		out[r.ID] = vec
+	})
+	return out, st
+}
+
+// runReduceBroadcast executes the two collectives Allreduce is defined as.
+func runReduceBroadcast(c *Comm, words int) ([][]float64, Stats) {
+	out := make([][]float64, c.P())
+	st := c.Run(func(r *Rank) {
+		vec := make([]float64, words)
+		fillTestVec(vec, r.ID)
+		r.Reduce(vec, 0)
+		r.Broadcast(vec, 0)
+		out[r.ID] = vec
+	})
+	return out, st
+}
+
+// TestAllreduceEquivalentToReduceBroadcast checks the documented identity
+// Allreduce ≡ Reduce-to-0 + Broadcast-from-0: for every cluster size 1..8
+// and representative vector lengths, all ranks end with bit-identical
+// vectors and the two runs charge exactly the same Stats — including under
+// an installed fault plan that schedules no faults.
+func TestAllreduceEquivalentToReduceBroadcast(t *testing.T) {
+	lens := []int{0, 1, 7, 1024}
+	for p := 1; p <= 8; p++ {
+		for _, words := range lens {
+			for _, armed := range []bool{false, true} {
+				ca := NewComm(NewPlatform(1, p))
+				cb := NewComm(NewPlatform(1, p))
+				if armed {
+					// An active plan with nothing scheduled must be
+					// perfectly transparent.
+					ca.InstallFaultPlan(&FaultPlan{Seed: 1})
+					cb.InstallFaultPlan(&FaultPlan{Seed: 1})
+				}
+				var va, vb [][]float64
+				var sa, sb Stats
+				watchdog(t, func() {
+					va, sa = runAllreduce(ca, words)
+					vb, sb = runReduceBroadcast(cb, words)
+				})
+				for id := 0; id < p; id++ {
+					for i := range va[id] {
+						if math.Float64bits(va[id][i]) != math.Float64bits(vb[id][i]) {
+							t.Fatalf("P=%d words=%d armed=%v rank %d word %d: Allreduce %v != Reduce+Broadcast %v",
+								p, words, armed, id, i, va[id][i], vb[id][i])
+						}
+					}
+					if id > 0 && !reflect.DeepEqual(va[id], va[0]) {
+						t.Fatalf("P=%d words=%d armed=%v: rank %d disagrees with rank 0 after Allreduce",
+							p, words, armed, id)
+					}
+				}
+				sa.Wall, sb.Wall = 0, 0
+				if !reflect.DeepEqual(sa, sb) {
+					t.Fatalf("P=%d words=%d armed=%v: Stats diverge:\nallreduce:        %+v\nreduce+broadcast: %+v",
+						p, words, armed, sa, sb)
+				}
+				if words > 0 && p > 1 && sa.TotalWords == 0 {
+					t.Fatalf("P=%d words=%d: no words charged", p, words)
+				}
+			}
+		}
+	}
+}

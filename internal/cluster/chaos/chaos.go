@@ -1,0 +1,204 @@
+// Package chaos is the deterministic chaos-test harness for the
+// fault-tolerant cluster runtime: every scenario derives its problem data,
+// its fault schedule, and its solver settings from a single seed, runs the
+// solve twice — once fault-free, once under the schedule with the solver
+// Supervisor absorbing crashes — and exposes both results for property
+// tests to compare. Because every injection in cluster.FaultPlan is keyed
+// to the communicator's fault clock and every random draw flows through
+// internal/rng, re-running a scenario from the same seed replays the whole
+// experiment bit-for-bit, statistics included.
+package chaos
+
+import (
+	"extdict/internal/cluster"
+	"extdict/internal/dist"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+	"extdict/internal/solver"
+)
+
+// dataStream decouples the problem-data RNG from the fault-plan RNG so the
+// two draws never alias even though both start from the scenario seed.
+const dataStream = 0x9e3779b97f4a7c15
+
+// Config bounds the random fault schedule a scenario draws and the cluster
+// it runs on.
+type Config struct {
+	// P is the starting rank count.
+	P int
+	// Crashes, Slowdowns and Corruptions count the injected faults of
+	// each kind.
+	Crashes, Slowdowns, Corruptions int
+	// Horizon is the fault-clock range the schedule is drawn over;
+	// faults landing after the solve converges simply never fire.
+	Horizon int64
+	// MaxDelay bounds each slowdown's virtual-time delay in seconds.
+	MaxDelay float64
+	// MaxDelta bounds each corruption's |additive perturbation|. It is
+	// kept small by default so a perturbed iteration stays inside the
+	// solvers' basin of attraction and convergence re-tightens.
+	MaxDelta float64
+}
+
+// DefaultConfig is the chaos suite's standard fault mix: one crash (so the
+// supervisor must shrink and resume), a few slowdowns (exercising the
+// virtual-time critical path), and a few small corruptions (exercising
+// transient-error recovery) over a horizon covering most of a solve.
+func DefaultConfig() Config {
+	return Config{
+		P: 4, Crashes: 1, Slowdowns: 3, Corruptions: 2,
+		Horizon: 60, MaxDelay: 0.25, MaxDelta: 0.02,
+	}
+}
+
+// Plan derives the seed's deterministic fault schedule.
+func (c Config) Plan(seed uint64) *cluster.FaultPlan {
+	return cluster.RandomFaultPlan(seed, cluster.FaultConfig{
+		P:       c.P,
+		Horizon: c.Horizon,
+		Crashes: c.Crashes, Slowdowns: c.Slowdowns, Corruptions: c.Corruptions,
+		MaxDelay: c.MaxDelay, MaxDelta: c.MaxDelta,
+		MaxWord: 1 << 20,
+	})
+}
+
+// supervisorOpts is the fixed supervision policy chaos scenarios run
+// under; a deterministic policy is part of what makes replays bit-exact.
+func supervisorOpts() solver.SupervisorOpts {
+	return solver.SupervisorOpts{MaxRetries: 3, CheckpointEvery: 10, BackoffBase: 1}
+}
+
+// LassoScenario is one seeded LASSO chaos experiment.
+type LassoScenario struct {
+	// Cfg is the fault mix the scenario draws from.
+	Cfg Config
+	// Seed drives both the problem data and the fault schedule.
+	Seed uint64
+
+	a    *mat.Dense
+	aty  []float64
+	yn2  float64
+	opts solver.LassoOpts
+}
+
+// NewLassoScenario builds the seed's LASSO problem: a dense consistent
+// system small enough to solve tightly, with a unique minimizer so the
+// fault-free and recovered answers must coincide.
+func NewLassoScenario(seed uint64, cfg Config) *LassoScenario {
+	r := rng.New(seed ^ dataStream)
+	const m, n = 40, 12
+	a := mat.NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	y := make([]float64, m)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	return &LassoScenario{
+		Cfg: cfg, Seed: seed,
+		a:   a,
+		aty: a.MulVecT(y, nil),
+		yn2: mat.Dot(y, y),
+		// Tight tolerance: both runs must land on the minimizer to well
+		// under the comparison tolerance before the patience rule stops
+		// them.
+		opts: solver.LassoOpts{Lambda: 0.1, MaxIters: 3000, Tol: 1e-12},
+	}
+}
+
+// FaultFree solves the scenario on a pristine communicator.
+func (s *LassoScenario) FaultFree() solver.LassoResult {
+	op := dist.NewDenseGram(cluster.NewComm(cluster.NewPlatform(1, s.Cfg.P)), s.a)
+	return solver.Lasso(op, s.aty, s.yn2, s.opts)
+}
+
+// Faulted solves the scenario under the seed's fault schedule with the
+// Supervisor absorbing crashes. Each call builds a fresh communicator and
+// arms the same plan, so calling it twice replays the experiment exactly.
+func (s *LassoScenario) Faulted() (solver.LassoResult, solver.Recovery, error) {
+	comm := cluster.NewComm(cluster.NewPlatform(1, s.Cfg.P))
+	comm.InstallFaultPlan(s.Cfg.Plan(s.Seed))
+	build := func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, s.a) }
+	return solver.SupervisedLasso(comm, build, s.aty, s.yn2, s.opts, supervisorOpts())
+}
+
+// PowerScenario is one seeded Power-method chaos experiment.
+type PowerScenario struct {
+	// Cfg is the fault mix the scenario draws from.
+	Cfg Config
+	// Seed drives both the problem data and the fault schedule.
+	Seed uint64
+
+	a    *mat.Dense
+	opts solver.PowerOpts
+}
+
+// NewPowerScenario builds the seed's PCA problem: a matrix with a known,
+// well-separated spectrum (A = U·diag(σ)·Vᵀ) so the power iteration
+// converges fast and every eigenpair is simple — the recovered spectrum
+// has one right answer to match.
+func NewPowerScenario(seed uint64, cfg Config) *PowerScenario {
+	r := rng.New(seed ^ dataStream)
+	const m, n = 30, 16
+	sigma := []float64{4, 2, 1}
+	u := orthonormalCols(r, m, len(sigma))
+	v := orthonormalCols(r, n, len(sigma))
+	a := mat.NewDense(m, n)
+	for k, s := range sigma {
+		for i := 0; i < m; i++ {
+			ui := u.At(i, k) * s
+			row := a.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += ui * v.At(j, k)
+			}
+		}
+	}
+	return &PowerScenario{
+		Cfg: cfg, Seed: seed,
+		a:    a,
+		opts: solver.PowerOpts{Components: 3, MaxIters: 500, Tol: 1e-12, Seed: seed},
+	}
+}
+
+// FaultFree solves the scenario on a pristine communicator.
+func (s *PowerScenario) FaultFree() solver.PowerResult {
+	op := dist.NewDenseGram(cluster.NewComm(cluster.NewPlatform(1, s.Cfg.P)), s.a)
+	return solver.PowerMethod(op, s.opts)
+}
+
+// Faulted solves the scenario under the seed's fault schedule with the
+// Supervisor absorbing crashes; see LassoScenario.Faulted for the replay
+// contract.
+func (s *PowerScenario) Faulted() (solver.PowerResult, solver.Recovery, error) {
+	comm := cluster.NewComm(cluster.NewPlatform(1, s.Cfg.P))
+	comm.InstallFaultPlan(s.Cfg.Plan(s.Seed))
+	build := func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, s.a) }
+	return solver.SupervisedPower(comm, build, s.opts, supervisorOpts())
+}
+
+// orthonormalCols builds an m×k matrix with orthonormal columns by
+// Gram-Schmidt over Gaussian draws (two passes for numerical safety).
+func orthonormalCols(r *rng.RNG, m, k int) *mat.Dense {
+	b := mat.NewDense(m, k)
+	col := make([]float64, m)
+	for j := 0; j < k; j++ {
+		for i := range col {
+			col[i] = r.NormFloat64()
+		}
+		for pass := 0; pass < 2; pass++ {
+			for q := 0; q < j; q++ {
+				var d float64
+				for i := 0; i < m; i++ {
+					d += col[i] * b.At(i, q)
+				}
+				for i := 0; i < m; i++ {
+					col[i] -= d * b.At(i, q)
+				}
+			}
+		}
+		mat.ScaleVec(1/mat.Norm2(col), col)
+		b.SetCol(j, col)
+	}
+	return b
+}

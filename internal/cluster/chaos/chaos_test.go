@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"extdict/internal/cluster/clustertest"
+	"extdict/internal/solver"
+)
+
+// chaosSeeds is how many independent fault schedules each property test
+// replays; the acceptance bar is ≥ 20.
+const chaosSeeds = 24
+
+// tol is the agreement tolerance between fault-free and recovered answers.
+const tol = 1e-6
+
+func TestLassoChaosProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	restarts, delays, corruptions := 0, 0, 0
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		s := NewLassoScenario(seed, cfg)
+		base := s.FaultFree()
+
+		var res, res2 solver.LassoResult
+		var rec, rec2 solver.Recovery
+		var err, err2 error
+		clustertest.Watchdog(t, func() {
+			res, rec, err = s.Faulted()
+			res2, rec2, err2 = s.Faulted()
+		})
+		if err != nil || err2 != nil {
+			t.Fatalf("seed %d: supervised solve failed: %v / %v", seed, err, err2)
+		}
+
+		// Property 1: the recovered answer matches the fault-free answer.
+		for i := range res.X {
+			if d := math.Abs(res.X[i] - base.X[i]); d > tol {
+				t.Fatalf("seed %d: recovered x[%d] off by %g from fault-free", seed, i, d)
+			}
+		}
+
+		// Property 2: replaying the same seed is bit-identical — the whole
+		// result (iterates, history, and every Stats counter including
+		// modeled time, injected delay and corrupted words) and the
+		// recovery record. Only wall time may vary.
+		res.Stats.Wall, res2.Stats.Wall = 0, 0
+		if !reflect.DeepEqual(res, res2) {
+			t.Fatalf("seed %d: replay diverged:\n%+v\n%+v", seed, res.Stats, res2.Stats)
+		}
+		if !reflect.DeepEqual(rec, rec2) {
+			t.Fatalf("seed %d: recovery record diverged: %+v vs %+v", seed, rec, rec2)
+		}
+
+		restarts += rec.Restarts
+		delays += int(res.Stats.InjectedDelay * 1e9)
+		corruptions += int(res.Stats.CorruptWords)
+	}
+	// The suite must actually have exercised every fault kind somewhere
+	// across the seeds, or the properties above prove nothing.
+	if restarts == 0 {
+		t.Fatal("no schedule crashed a rank: recovery was never exercised")
+	}
+	if delays == 0 {
+		t.Fatal("no schedule injected a slowdown")
+	}
+	if corruptions == 0 {
+		t.Fatal("no schedule corrupted a word")
+	}
+}
+
+func TestPowerChaosProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 40 // power solves converge in ~50 phases
+	restarts := 0
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		s := NewPowerScenario(seed, cfg)
+		base := s.FaultFree()
+
+		var res, res2 solver.PowerResult
+		var rec, rec2 solver.Recovery
+		var err, err2 error
+		clustertest.Watchdog(t, func() {
+			res, rec, err = s.Faulted()
+			res2, rec2, err2 = s.Faulted()
+		})
+		if err != nil || err2 != nil {
+			t.Fatalf("seed %d: supervised solve failed: %v / %v", seed, err, err2)
+		}
+
+		// Property 1: the recovered spectrum matches the fault-free one;
+		// eigenvectors are defined up to sign, so compare alignment.
+		for k := range base.Eigenvalues {
+			if d := math.Abs(res.Eigenvalues[k] - base.Eigenvalues[k]); d > tol {
+				t.Fatalf("seed %d: eigenvalue %d off by %g from fault-free", seed, k, d)
+			}
+			var dot float64
+			for i := 0; i < base.Eigenvectors.Rows; i++ {
+				dot += res.Eigenvectors.At(i, k) * base.Eigenvectors.At(i, k)
+			}
+			if math.Abs(math.Abs(dot)-1) > tol {
+				t.Fatalf("seed %d: eigenvector %d misaligned: |dot| = %g", seed, k, math.Abs(dot))
+			}
+		}
+
+		// Property 2: bit-identical replay.
+		res.Stats.Wall, res2.Stats.Wall = 0, 0
+		if !reflect.DeepEqual(res, res2) {
+			t.Fatalf("seed %d: replay diverged:\n%+v\n%+v", seed, res.Stats, res2.Stats)
+		}
+		if !reflect.DeepEqual(rec, rec2) {
+			t.Fatalf("seed %d: recovery record diverged: %+v vs %+v", seed, rec, rec2)
+		}
+		restarts += rec.Restarts
+	}
+	if restarts == 0 {
+		t.Fatal("no schedule crashed a rank: recovery was never exercised")
+	}
+}
+
+func TestScenarioDataIndependentOfFaultMix(t *testing.T) {
+	// The problem data must derive from the seed alone, not the fault
+	// config, or comparing runs across configs would be meaningless.
+	a := NewLassoScenario(3, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Crashes, cfg.Corruptions = 0, 0
+	b := NewLassoScenario(3, cfg)
+	if !reflect.DeepEqual(a.a, b.a) || !reflect.DeepEqual(a.aty, b.aty) {
+		t.Fatal("problem data depends on the fault config")
+	}
+}

@@ -1,0 +1,39 @@
+// Package clustertest provides shared helpers for tests that drive the
+// simulated cluster runtime, from any package. Its centerpiece is the
+// goroutine-dump watchdog that used to live privately in the cluster
+// package's tests: collective bugs tend to present as a rank parked forever
+// in a rendezvous, which under CI looks like a silent suite hang; the
+// watchdog turns that into an actionable failure naming the stuck ranks.
+package clustertest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Timeout is the watchdog deadline. It is generous: every collective in
+// the repository's tests completes in microseconds, so hitting it means a
+// wedged rendezvous, not a slow machine.
+const Timeout = 30 * time.Second
+
+// Watchdog runs fn and fails the test with a full goroutine dump if fn
+// does not return within Timeout. Wrap any code that enters Comm.Run —
+// directly or through a dist operator or solver — so a deadlocked
+// collective surfaces as a diagnosable failure instead of a hang.
+func Watchdog(t testing.TB, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(Timeout):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("cluster run did not complete within %v; goroutine dump:\n%s",
+			Timeout, buf[:n])
+	}
+}

@@ -24,6 +24,12 @@ type Stats struct {
 	TotalWords int64
 	// Phases is the number of collective operations executed.
 	Phases int64
+	// InjectedDelay totals the virtual-time slowdown seconds an armed
+	// FaultPlan charged during the run (zero when no plan is installed).
+	InjectedDelay float64
+	// CorruptWords counts Reduce contribution words an armed FaultPlan
+	// perturbed during the run.
+	CorruptWords int64
 
 	// ModeledTime is the bulk-synchronous time estimate in seconds:
 	// Σ over phases of (slowest rank's compute + path words + latency),
@@ -73,6 +79,8 @@ func (s *Stats) Accumulate(o Stats) {
 	s.PathWords += o.PathWords
 	s.TotalWords += o.TotalWords
 	s.Phases += o.Phases
+	s.InjectedDelay += o.InjectedDelay
+	s.CorruptWords += o.CorruptWords
 	s.ModeledTime += o.ModeledTime
 	s.ModeledEnergy += o.ModeledEnergy
 	s.Wall += o.Wall
@@ -116,6 +124,25 @@ type Comm struct {
 	// not allocate per iteration.
 	tracing bool
 	trace   []PhaseTrace
+
+	// Fault injection state (see fault.go). plan is the armed schedule
+	// (nil = injection off); fired marks consumed faults; pending indexes
+	// unfired crash/slowdown faults by exact phase, while corrupt lists
+	// unfired corruption faults in plan order (they fire at the first
+	// reduction at or after their phase). faultClock counts collective
+	// phases since the plan was installed and deliberately survives
+	// reset() so a schedule spans every Run of a multi-iteration solve.
+	// sinceDelay[r] accumulates rank r's injected virtual delay since the
+	// last phase close, folded into the phase critical path exactly like
+	// slow flops.
+	plan          *FaultPlan
+	fired         []bool
+	pending       map[int64][]int
+	corrupt       []int
+	faultClock    int64
+	sinceDelay    []float64
+	injectedDelay float64
+	corruptWords  int64
 
 	// aborted flips when any rank's body panics (or a collective detects
 	// misuse); failure records the first panic value. Blocked ranks are
@@ -161,6 +188,7 @@ func NewComm(p Platform) *Comm {
 		dst:        make([][]float64, p.Topology.P()),
 		sinceFlops: make([]int64, p.Topology.P()),
 		totalFlops: make([]int64, p.Topology.P()),
+		sinceDelay: make([]float64, p.Topology.P()),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -177,6 +205,13 @@ func (c *Comm) EnableTrace() { c.tracing = true }
 
 // Platform returns the platform this communicator models.
 func (c *Comm) Platform() Platform { return c.platform }
+
+// RankSpeeds returns the per-rank relative flop rates of this
+// communicator's ranks (a copy). For a freshly built communicator these
+// are the platform's rank speeds; for one produced by Shrink they are the
+// survivors' speeds, so data partitioners stay load-balanced — and sized
+// to the live rank count — after a crash.
+func (c *Comm) RankSpeeds() []float64 { return append([]float64(nil), c.speeds...) }
 
 // Run executes body once per rank, concurrently, and returns the collected
 // statistics. Statistics reset on each Run.
@@ -210,22 +245,25 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 	}
 	wall := time.Since(start)
 
-	// Compute tail after the last collective.
+	// Compute tail after the last collective (injected delays only linger
+	// here if the run aborted between injection and the phase close).
 	var tail float64
 	for i, f := range c.sinceFlops {
-		if t := float64(f) / c.speeds[i]; t > tail {
+		if t := float64(f)/c.speeds[i]*c.platform.Cost.FlopTime + c.sinceDelay[i]; t > tail {
 			tail = t
 		}
 	}
-	c.modeled += tail * c.platform.Cost.FlopTime
+	c.modeled += tail
 
 	st := Stats{
-		FlopsPerRank: append([]int64(nil), c.totalFlops...),
-		PathWords:    c.pathWords,
-		TotalWords:   c.totalWords,
-		Phases:       c.phases,
-		ModeledTime:  c.modeled,
-		Wall:         wall,
+		FlopsPerRank:  append([]int64(nil), c.totalFlops...),
+		PathWords:     c.pathWords,
+		TotalWords:    c.totalWords,
+		Phases:        c.phases,
+		InjectedDelay: c.injectedDelay,
+		CorruptWords:  c.corruptWords,
+		ModeledTime:   c.modeled,
+		Wall:          wall,
 	}
 	if c.tracing {
 		st.Trace = append([]PhaseTrace(nil), c.trace...)
@@ -252,9 +290,13 @@ func (c *Comm) reset() {
 	for i := range c.sinceFlops {
 		c.sinceFlops[i] = 0
 		c.totalFlops[i] = 0
+		c.sinceDelay[i] = 0
 	}
 	c.pathWords, c.totalWords, c.phases = 0, 0, 0
 	c.modeled = 0
+	// plan, fired, pending and faultClock deliberately survive: the fault
+	// schedule spans every Run of a multi-iteration solve.
+	c.injectedDelay, c.corruptWords = 0, 0
 	c.trace = c.trace[:0]
 	c.aborted, c.failure = false, nil
 }
@@ -278,21 +320,27 @@ func (c *Comm) abortLocked(v any) {
 
 // closePhase charges the bulk-synchronous cost of the completed phase: the
 // slowest rank's accumulated compute (scaled by its node's speed on
-// heterogeneous platforms), the critical-path word cost of the collective,
-// and the reduction-tree latency. Callers hold c.mu.
+// heterogeneous platforms) plus any injected virtual delay, the
+// critical-path word cost of the collective, and the reduction-tree
+// latency. Per-rank time is formed as (flops/speed)·FlopTime + delay, so an
+// injected slowdown competes for the critical path exactly like slow
+// compute; with no delays this is bit-identical to scaling the max by
+// FlopTime afterwards. It also advances the fault clock: the next
+// collective entered has the next injection index. Callers hold c.mu.
 func (c *Comm) closePhase(vecLen int) {
 	var maxT float64
 	for i, f := range c.sinceFlops {
-		if t := float64(f) / c.speeds[i]; t > maxT {
+		if t := float64(f)/c.speeds[i]*c.platform.Cost.FlopTime + c.sinceDelay[i]; t > maxT {
 			maxT = t
 		}
 		c.sinceFlops[i] = 0
+		c.sinceDelay[i] = 0
 	}
 	hops := 1.0
 	if c.p > 1 {
 		hops = math.Ceil(math.Log2(float64(c.p)))
 	}
-	c.modeled += maxT*c.platform.Cost.FlopTime +
+	c.modeled += maxT +
 		float64(vecLen)*c.platform.WordTime() +
 		hops*c.platform.Latency()
 	if c.tracing {
@@ -302,6 +350,7 @@ func (c *Comm) closePhase(vecLen int) {
 	// Every non-root rank moves vecLen words in a reduce or broadcast.
 	c.totalWords += int64(vecLen) * int64(c.p-1)
 	c.phases++
+	c.faultClock++
 }
 
 // Rank is one logical processor's handle inside a Run body.
@@ -345,6 +394,11 @@ func (r *Rank) collective(kind collKind, root, vecLen int, stage, finalize func(
 		// A peer already failed; propagate its failure instead of waiting
 		// for a rendezvous that can never complete.
 		panic(c.failure)
+	}
+	if c.plan != nil {
+		// Keyed to the fault clock, not arrival order, so a schedule
+		// replays identically regardless of goroutine interleaving.
+		c.injectEntryLocked()
 	}
 	if c.arrived == 0 {
 		c.kind, c.root, c.vecLen = kind, root, vecLen
@@ -392,11 +446,23 @@ func (r *Rank) Reduce(vec []float64, root int) {
 		// the Comm — finalize runs under the lock, so one buffer serves
 		// every phase without allocating.
 		sum := c.sumScratch(c.vecLen)
-		for id := 0; id < c.p; id++ {
-			for i, v := range c.contrib[id] {
-				sum[i] += v
+		if c.hasCorruption() {
+			// A fault plan targets this phase: read each contribution
+			// word through the injector (models a transmission error;
+			// the contributing rank's buffer is untouched).
+			for id := 0; id < c.p; id++ {
+				for i, v := range c.contrib[id] {
+					sum[i] += v + c.corruptionLocked(id, i, c.vecLen)
+				}
+				c.contrib[id] = nil
 			}
-			c.contrib[id] = nil
+		} else {
+			for id := 0; id < c.p; id++ {
+				for i, v := range c.contrib[id] {
+					sum[i] += v
+				}
+				c.contrib[id] = nil
+			}
 		}
 		copy(c.rootDst, sum)
 		c.rootDst = nil

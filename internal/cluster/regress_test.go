@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -124,5 +127,40 @@ func TestCommReusableAfterAbort(t *testing.T) {
 	clean.Wall, after.Wall = 0, 0
 	if !reflect.DeepEqual(clean, after) {
 		t.Fatalf("Comm did not fully reset after an aborted Run:\nbefore %+v\nafter  %+v", clean, after)
+	}
+}
+
+// TestMidCollectiveCrashAbortsAllRanksWithCrasherID pins down the fault
+// abort protocol: a fault-plan crash striking any rank of a P=4 cluster in
+// the middle of the collective schedule must abort the whole Run — no
+// deadlocked survivors — and the panic that escapes must be the RankCrash
+// naming the crashing rank, so postmortems identify the culprit.
+func TestMidCollectiveCrashAbortsAllRanksWithCrasherID(t *testing.T) {
+	for victim := 0; victim < 4; victim++ {
+		c := NewComm(NewPlatform(1, 4))
+		// Phase 1 is the Broadcast half of the first Allreduce: mid-schedule,
+		// mid-collective-sequence.
+		c.InstallFaultPlan(&FaultPlan{Faults: []Fault{
+			{Kind: FaultCrash, Rank: victim, Phase: 1},
+		}})
+		failure := runExpectPanic(t, c, func(r *Rank) {
+			for it := 0; it < 3; it++ {
+				r.Allreduce([]float64{float64(r.ID)})
+			}
+		})
+		if failure == nil {
+			t.Fatalf("victim %d: crash did not abort the Run", victim)
+		}
+		err, ok := failure.(error)
+		if !ok {
+			t.Fatalf("victim %d: Run panicked with %v, want a RankCrash error", victim, failure)
+		}
+		var rc RankCrash
+		if !errors.As(err, &rc) || rc.Rank != victim {
+			t.Fatalf("victim %d: panic value %v does not identify the crashing rank", victim, err)
+		}
+		if want := fmt.Sprintf("rank %d", victim); !strings.Contains(err.Error(), want) {
+			t.Fatalf("victim %d: panic message %q lacks %q", victim, err.Error(), want)
+		}
 	}
 }

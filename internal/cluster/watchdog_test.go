@@ -1,33 +1,15 @@
 package cluster
 
 import (
-	"runtime"
 	"testing"
-	"time"
+
+	"extdict/internal/cluster/clustertest"
 )
 
-// watchdogTimeout is generous: every collective in these tests completes in
-// microseconds, so a second means a wedged rendezvous, not a slow machine.
-const watchdogTimeout = 30 * time.Second
-
-// watchdog runs fn and fails the test with a full goroutine dump if fn does
-// not return within the timeout. Collective bugs tend to present as a rank
-// parked forever in a rendezvous; under CI that used to look like a silent
-// test-suite hang. The dump names the stuck ranks so the failure is
-// actionable.
+// watchdog is this package's shorthand for the shared goroutine-dump
+// watchdog; see clustertest.Watchdog for the rationale. dist and solver
+// tests use the clustertest package directly.
 func watchdog(t *testing.T, fn func()) {
 	t.Helper()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		fn()
-	}()
-	select {
-	case <-done:
-	case <-time.After(watchdogTimeout):
-		buf := make([]byte, 1<<20)
-		n := runtime.Stack(buf, true)
-		t.Fatalf("cluster run did not complete within %v; goroutine dump:\n%s",
-			watchdogTimeout, buf[:n])
-	}
+	clustertest.Watchdog(t, fn)
 }

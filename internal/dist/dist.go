@@ -66,9 +66,11 @@ func WeightedBlockRanges(n int, weights []float64) [][2]int {
 }
 
 // rangesFor partitions n columns across the communicator's ranks,
-// load-balanced by rank speed on heterogeneous platforms.
+// load-balanced by rank speed on heterogeneous platforms. It asks the
+// communicator — not the platform — for the speeds, so a communicator
+// shrunk after a rank crash partitions over exactly the surviving ranks.
 func rangesFor(comm *cluster.Comm, n int) [][2]int {
-	return WeightedBlockRanges(n, comm.Platform().RankSpeeds())
+	return WeightedBlockRanges(n, comm.RankSpeeds())
 }
 
 // DenseGram is the untransformed baseline: y = AᵀA·x with A partitioned by

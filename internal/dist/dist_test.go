@@ -5,11 +5,22 @@ import (
 	"testing"
 
 	"extdict/internal/cluster"
+	"extdict/internal/cluster/clustertest"
 	"extdict/internal/dataset"
 	"extdict/internal/exd"
 	"extdict/internal/mat"
 	"extdict/internal/rng"
 )
+
+// applyWatched runs op.Apply under the shared cluster watchdog so a
+// collective deadlock in an operator fails the test with a goroutine dump
+// instead of hanging CI.
+func applyWatched(t testing.TB, op Operator, x, y []float64) cluster.Stats {
+	t.Helper()
+	var st cluster.Stats
+	clustertest.Watchdog(t, func() { st = op.Apply(x, y) })
+	return st
+}
 
 func testData(t testing.TB, m, n int, seed uint64) *mat.Dense {
 	t.Helper()
@@ -56,7 +67,7 @@ func TestDenseGramMatchesSerial(t *testing.T) {
 		comm := cluster.NewComm(plat)
 		g := NewDenseGram(comm, a)
 		y := make([]float64, 90)
-		st := g.Apply(x, y)
+		st := applyWatched(t, g, x, y)
 		for i := range want {
 			if math.Abs(y[i]-want[i]) > 1e-9 {
 				t.Fatalf("platform %s: mismatch at %d: %v vs %v",
@@ -100,7 +111,7 @@ func TestExDGramMatchesSerialBothCases(t *testing.T) {
 				t.Fatalf("L=%d M=30: CaseTwo=%v", l, g.CaseTwo())
 			}
 			y := make([]float64, 120)
-			g.Apply(x, y)
+			applyWatched(t, g, x, y)
 			for i := range want {
 				if math.Abs(y[i]-want[i]) > 1e-8 {
 					t.Fatalf("L=%d %s: mismatch at %d: %v vs %v",
@@ -120,14 +131,14 @@ func TestExDGramCommunicationOptimal(t *testing.T) {
 
 	small := fitExD(t, a, 16, 0.05) // L=16 < M=30
 	g1, _ := NewExDGram(cluster.NewComm(plat), small.D, small.C)
-	st1 := g1.Apply(x, y)
+	st1 := applyWatched(t, g1, x, y)
 	if st1.PathWords != 2*16 {
 		t.Fatalf("Case 1 path words %d, want %d", st1.PathWords, 2*16)
 	}
 
 	big := fitExD(t, a, 100, 0.05) // L=100 > M=30
 	g2, _ := NewExDGram(cluster.NewComm(plat), big.D, big.C)
-	st2 := g2.Apply(x, y)
+	st2 := applyWatched(t, g2, x, y)
 	if st2.PathWords != 2*30 {
 		t.Fatalf("Case 2 path words %d, want %d", st2.PathWords, 2*30)
 	}
@@ -150,12 +161,12 @@ func TestExDGramApproximatesDenseGram(t *testing.T) {
 
 	dense := NewDenseGram(cluster.NewComm(plat), a)
 	yTrue := make([]float64, 150)
-	dense.Apply(x, yTrue)
+	applyWatched(t, dense, x, yTrue)
 
 	tr := fitExD(t, a, 90, 0.01)
 	g, _ := NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
 	yApprox := make([]float64, 150)
-	g.Apply(x, yApprox)
+	applyWatched(t, g, x, yApprox)
 
 	diff := make([]float64, 150)
 	mat.SubVec(diff, yTrue, yApprox)
@@ -172,7 +183,7 @@ func TestExDGramFlopAccounting(t *testing.T) {
 	g, _ := NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
 	x := randVec(rng.New(11), 80)
 	y := make([]float64, 80)
-	st := g.Apply(x, y)
+	st := applyWatched(t, g, x, y)
 	// Case 1 totals: 4·nnz(C) for the sparse products + 4·M·L on rank 0.
 	want := int64(4*tr.C.NNZ() + 4*30*20)
 	if st.TotalFlops != want {
@@ -197,7 +208,7 @@ func TestBatchGramUnbiasedAndCheap(t *testing.T) {
 	y := make([]float64, 100)
 	var st cluster.Stats
 	for i := 0; i < trials; i++ {
-		s := g.Apply(x, y)
+		s := applyWatched(t, g, x, y)
 		if i == 0 {
 			st = s
 		}
@@ -237,8 +248,8 @@ func TestOperatorsDeterministic(t *testing.T) {
 	y2 := make([]float64, 70)
 	g1, _ := NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
 	g2, _ := NewExDGram(cluster.NewComm(plat), tr.D, tr.C)
-	g1.Apply(x, y1)
-	g2.Apply(x, y2)
+	applyWatched(t, g1, x, y1)
+	applyWatched(t, g2, x, y2)
 	for i := range y1 {
 		if y1[i] != y2[i] {
 			t.Fatal("ExDGram not deterministic")

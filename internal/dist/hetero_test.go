@@ -91,8 +91,8 @@ func TestHeterogeneousResultUnchanged(t *testing.T) {
 	skew := NewDenseGram(cluster.NewComm(heteroPlatform(1, 2, 4, 8)), a)
 	y1 := make([]float64, 90)
 	y2 := make([]float64, 90)
-	even.Apply(x, y1)
-	skew.Apply(x, y2)
+	applyWatched(t, even, x, y1)
+	applyWatched(t, skew, x, y2)
 	for i := range y1 {
 		if math.Abs(y1[i]-y2[i]) > 1e-10 {
 			t.Fatalf("heterogeneous partitioning changed the product at %d", i)
@@ -112,7 +112,7 @@ func TestHeterogeneousLoadBalancingPays(t *testing.T) {
 
 	// Balanced: the operators use speed-weighted partitioning.
 	balanced := NewDenseGram(cluster.NewComm(slowNode), a)
-	stBal := balanced.Apply(x, y)
+	stBal := applyWatched(t, balanced, x, y)
 
 	// Naive: fake uniform weights by marking the platform homogeneous for
 	// partitioning but running on the heterogeneous communicator. Build
@@ -122,7 +122,7 @@ func TestHeterogeneousLoadBalancingPays(t *testing.T) {
 	// constructing on a uniform 4-rank platform and measure the modeled
 	// time with the slow node's flop cost applied to rank 0's share.
 	naive := NewDenseGram(cluster.NewComm(cluster.NewPlatform(4, 1)), a)
-	stNaive := naive.Apply(x, y)
+	stNaive := applyWatched(t, naive, x, y)
 	// rank 0 holds 1/4 of the flops but runs 4x slower on the skewed
 	// platform: its phase time quadruples relative to the uniform run.
 	naiveOnSkew := stNaive.ModeledTime + 3*float64(stNaive.MaxFlops)*slowNode.Cost.FlopTime

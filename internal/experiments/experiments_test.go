@@ -19,6 +19,7 @@ func TestGeometricHelper(t *testing.T) {
 }
 
 func TestTableWriterAlignment(t *testing.T) {
+	skipInShort(t)
 	tw := &tableWriter{header: []string{"a", "long-header"}}
 	tw.addRow("xxxxx", "1")
 	s := tw.String()
@@ -32,6 +33,7 @@ func TestTableWriterAlignment(t *testing.T) {
 }
 
 func TestFig4CurveShapes(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig4(smallCfg(), 3)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +64,7 @@ func TestFig4CurveShapes(t *testing.T) {
 }
 
 func TestFig5Tunability(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig5(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +98,7 @@ func TestFig5Tunability(t *testing.T) {
 }
 
 func TestFig6SubsetConvergence(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig6(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -132,6 +136,7 @@ func TestFig6SubsetConvergence(t *testing.T) {
 }
 
 func TestTable2Overheads(t *testing.T) {
+	skipInShort(t)
 	r, err := Table2(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +158,7 @@ func TestTable2Overheads(t *testing.T) {
 }
 
 func TestFig7ExtDictWins(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig7(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +212,7 @@ func TestFig7ExtDictWins(t *testing.T) {
 }
 
 func TestTable3MemoryOrdering(t *testing.T) {
+	skipInShort(t)
 	r, err := Table3(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +243,7 @@ func TestTable3MemoryOrdering(t *testing.T) {
 }
 
 func TestFig8ModelTracksSimulator(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig8(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -249,6 +257,7 @@ func TestFig8ModelTracksSimulator(t *testing.T) {
 }
 
 func TestFig9ExtDictBeatsSGD(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig9(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -283,6 +292,7 @@ func TestFig9ExtDictBeatsSGD(t *testing.T) {
 }
 
 func TestFig10ExtDictSpeedsUpPCA(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig10(smallCfg(), 4)
 	if err != nil {
 		t.Fatal(err)
@@ -308,6 +318,7 @@ func TestFig10ExtDictSpeedsUpPCA(t *testing.T) {
 }
 
 func TestFig11ErrorTradeoff(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig11(smallCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -333,6 +344,7 @@ func TestFig11ErrorTradeoff(t *testing.T) {
 }
 
 func TestFig12PCALearningError(t *testing.T) {
+	skipInShort(t)
 	r, err := Fig12(smallCfg(), 4)
 	if err != nil {
 		t.Fatal(err)
@@ -350,5 +362,16 @@ func TestFig12PCALearningError(t *testing.T) {
 	}
 	if !strings.Contains(r.Table(), "Fig.12") {
 		t.Fatal("table header missing")
+	}
+}
+
+// skipInShort marks the full experiment drivers as long tests: under -short
+// (the CI race pass) only the fast helpers run, because the race detector's
+// order-of-magnitude slowdown puts the drivers past any reasonable timeout.
+// The plain test phase still runs every driver.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment driver skipped in -short mode")
 	}
 }

@@ -108,6 +108,10 @@ func TestStaticTraceMatchesRuntime(t *testing.T) {
 	newComm := func() *cluster.Comm {
 		c := cluster.NewComm(cluster.NewPlatform(1, 4))
 		c.EnableTrace()
+		// Arm an empty fault plan: the injection hooks must be perfectly
+		// transparent to the collective schedule, so the runtime trace still
+		// has to match the static one word for word.
+		c.InstallFaultPlan(&cluster.FaultPlan{})
 		return c
 	}
 

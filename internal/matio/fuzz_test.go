@@ -1,0 +1,108 @@
+package matio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"extdict/internal/mat"
+)
+
+// binFile hand-assembles an EDM byte stream so seeds can be deliberately
+// malformed in ways WriteBinary never produces.
+func binFile(magic string, rows, cols int64, vals ...float64) []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	hdr := [2]int64{rows, cols}
+	if err := binary.Write(&b, binary.LittleEndian, hdr[:]); err != nil {
+		panic(err)
+	}
+	for _, v := range vals {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		b.Write(w[:])
+	}
+	return b.Bytes()
+}
+
+// FuzzReadBinary asserts the EDM reader's crash-safety contract: arbitrary
+// bytes either parse or error — never panic — NaN payloads always error,
+// and anything accepted survives a write/read round-trip bit-for-bit.
+func FuzzReadBinary(f *testing.F) {
+	f.Add(binFile(binaryMagic, 2, 3, 1, 2, 3, 4, 5, 6))          // valid
+	f.Add(binFile(binaryMagic, 1, 1, math.NaN()))                // NaN payload
+	f.Add(binFile(binaryMagic, 1, 2, math.Inf(1), math.Inf(-1))) // infinities are legal
+	f.Add(binFile("EXTDICT9", 1, 1, 0))                          // bad magic
+	f.Add(binFile(binaryMagic, -1, 4))                           // negative dims
+	f.Add(binFile(binaryMagic, 1<<40, 1<<40))                    // implausible dims
+	f.Add(binFile(binaryMagic, 4, 4, 1, 2))                      // truncated payload
+	f.Add([]byte(binaryMagic))                                   // truncated header
+	f.Add([]byte{})                                              // empty
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, v := range m.Data {
+			if math.IsNaN(v) {
+				t.Fatal("reader accepted a NaN payload")
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			t.Fatalf("re-encoding accepted matrix: %v", err)
+		}
+		m2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		requireSame(t, m, m2)
+	})
+}
+
+// FuzzReadCSV asserts the same contract for the CSV reader.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("1.5e-30,-0\n+Inf,-Inf\n")
+	f.Add("NaN,1\n")   // NaN payload must error
+	f.Add("1,2\n3\n")  // ragged rows
+	f.Add("a,b\n")     // unparsable fields
+	f.Add("1e999,0\n") // overflow
+	f.Add("\n\n")      // effectively empty
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := ReadCSV(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		for _, v := range m.Data {
+			if math.IsNaN(v) {
+				t.Fatal("reader accepted a NaN payload")
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, m); err != nil {
+			t.Fatalf("re-encoding accepted matrix: %v", err)
+		}
+		m2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		requireSame(t, m, m2)
+	})
+}
+
+// requireSame asserts bit-exact equality (NaN-free inputs, so Float64bits
+// equality also pins signed zeros).
+func requireSame(t *testing.T, a, b *mat.Dense) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("round-trip changed shape: %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i, v := range a.Data {
+		if math.Float64bits(v) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("round-trip changed element %d: %v -> %v", i, v, b.Data[i])
+		}
+	}
+}

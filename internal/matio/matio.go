@@ -71,6 +71,11 @@ func ReadCSV(r io.Reader) (*mat.Dense, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 			}
+			if math.IsNaN(v) {
+				// NaN payloads poison every downstream reduction; refuse
+				// them at the boundary instead of producing silent garbage.
+				return nil, fmt.Errorf("%w: NaN value at row %d", ErrBadFormat, rows+1)
+			}
 			data = append(data, v)
 		}
 		rows++
@@ -124,18 +129,32 @@ func ReadBinary(r io.Reader) (*mat.Dense, error) {
 	if rows <= 0 || cols <= 0 || rows > 1<<24 || cols > 1<<28 {
 		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrBadFormat, rows, cols)
 	}
-	m := mat.NewDense(rows, cols)
-	buf := make([]byte, 8*cols)
-	for i := 0; i < rows; i++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("%w: truncated at row %d: %v", ErrBadFormat, i, err)
+	// Read in fixed-size chunks and grow the backing slice as data actually
+	// arrives, so a forged header cannot demand a rows·cols allocation up
+	// front: memory stays proportional to the bytes really present.
+	total := hdr[0] * hdr[1] // ≤ 2^52, no overflow
+	var data []float64
+	buf := make([]byte, 1<<16)
+	for idx := int64(0); idx < total; {
+		chunk := total - idx
+		if max := int64(len(buf) / 8); chunk > max {
+			chunk = max
 		}
-		row := m.Row(i)
-		for j := range row {
-			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		b := buf[:8*chunk]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("%w: truncated at element %d: %v", ErrBadFormat, idx, err)
 		}
+		for j := int64(0); j < chunk; j++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+			if math.IsNaN(v) {
+				// See ReadCSV: NaN payloads must error, never load.
+				return nil, fmt.Errorf("%w: NaN value at element %d", ErrBadFormat, idx+j)
+			}
+			data = append(data, v)
+		}
+		idx += chunk
 	}
-	return m, nil
+	return mat.NewDenseData(rows, cols, data), nil
 }
 
 // Load reads a matrix from path, choosing the format by extension

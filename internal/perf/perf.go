@@ -153,6 +153,19 @@ func PredictSGD(n, batch int, plat cluster.Platform) Estimate {
 	return e
 }
 
+// RetryBackoff is the modeled recovery pause before retry number attempt
+// (0-based) of a supervised solve: base·2^attempt virtual seconds of
+// exponential backoff. The solver Supervisor charges it to the run's
+// ModeledTime when it restarts a solve on a shrunk communicator, so
+// fault recovery shows up in the same performance model Eq. 2 feeds —
+// and, being a pure function of the attempt number, replays exactly.
+func RetryBackoff(base float64, attempt int) float64 {
+	if base <= 0 || attempt < 0 {
+		return 0
+	}
+	return math.Ldexp(base, attempt)
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

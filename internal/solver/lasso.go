@@ -30,6 +30,18 @@ type LassoOpts struct {
 	Tol float64
 	// X0 optionally warm-starts the solve; nil starts at zero.
 	X0 []float64
+	// CheckpointEvery takes an in-memory snapshot of the solver state
+	// through Sink every k iterations (0 disables checkpointing). The
+	// Supervisor uses the snapshots to restart a solve after a rank crash.
+	CheckpointEvery int
+	// Sink receives each snapshot. The pointed-to checkpoint and its
+	// buffers are owned by the solver and overwritten at the next
+	// snapshot; consumers needing longer-lived copies must clone.
+	Sink func(*Checkpoint)
+	// Resume restores the solver state (iterate, Adagrad accumulators,
+	// iteration counter) from a snapshot previously emitted via Sink and
+	// continues from that iteration. X0 is ignored when resuming.
+	Resume *Checkpoint
 }
 
 func (o *LassoOpts) fill() {
@@ -48,7 +60,9 @@ func (o *LassoOpts) fill() {
 type LassoResult struct {
 	// X is the solution vector.
 	X []float64
-	// Iters is the number of iterations executed.
+	// Iters is the solve's iteration counter after this call: the number
+	// of iterations executed, counting any iterations a Resume checkpoint
+	// carried in. History covers only this call's window.
 	Iters int
 	// Converged reports whether the tolerance was reached before MaxIters.
 	Converged bool
@@ -83,19 +97,36 @@ func Lasso(op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) Lass
 	gx := make([]float64, n)
 	grad := make([]float64, n)
 	accum := make([]float64, n)
+	startIter := 0
+	if opts.Resume != nil {
+		if len(opts.Resume.X) != n || len(opts.Resume.Accum) != n {
+			panic("solver: resume checkpoint dim mismatch")
+		}
+		copy(x, opts.Resume.X)
+		copy(accum, opts.Resume.Accum)
+		startIter = opts.Resume.Iter
+	}
 	// History is preallocated to the iteration cap so the hot loop below
 	// appends nothing; it is trimmed to the iterations actually run.
 	history := make([]float64, opts.MaxIters)
 	const adaEps = 1e-12
 
-	res := LassoResult{X: x}
+	// The snapshot buffers are hoisted out of the hot loop: a checkpoint is
+	// two copies into preallocated storage, never an allocation.
+	checkpointing := opts.CheckpointEvery > 0 && opts.Sink != nil
+	var ckpt Checkpoint
+	if checkpointing {
+		ckpt = Checkpoint{X: make([]float64, n), Accum: make([]float64, n)}
+	}
+
+	res := LassoResult{X: x, Iters: startIter}
 	prevObj := math.Inf(1)
 	// Adagrad with the ℓ₁ prox descends on average but the objective can
 	// jitter by tiny amounts near the optimum; require a run of
 	// small-change iterations before declaring convergence.
 	const patience = 5
 	small := 0
-	for it := 0; it < opts.MaxIters; it++ {
+	for it := startIter; it < opts.MaxIters; it++ {
 		st := op.Apply(x, gx)
 		res.Stats.Accumulate(st)
 		res.Iters = it + 1
@@ -103,7 +134,7 @@ func Lasso(op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) Lass
 		// Objective from the quantities already in hand:
 		// ‖Ax-y‖² = xᵀGx - 2·(Aᵀy)ᵀx + ‖y‖².
 		obj := mat.Dot(x, gx) - 2*mat.Dot(aty, x) + yNorm2 + opts.Lambda*mat.Norm1(x)
-		history[it] = obj
+		history[it-startIter] = obj
 		res.Objective = obj
 
 		if math.Abs(prevObj-obj) <= opts.Tol*math.Max(1, math.Abs(obj)) {
@@ -127,8 +158,15 @@ func Lasso(op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) Lass
 			lr := opts.LearningRate / math.Sqrt(accum[i]+adaEps)
 			x[i] = softThreshold(x[i]-lr*grad[i], lr*opts.Lambda)
 		}
+
+		if checkpointing && (it+1)%opts.CheckpointEvery == 0 {
+			copy(ckpt.X, x)
+			copy(ckpt.Accum, accum)
+			ckpt.Iter = it + 1
+			opts.Sink(&ckpt)
+		}
 	}
-	res.History = history[:res.Iters]
+	res.History = history[:res.Iters-startIter]
 	return res
 }
 

@@ -21,6 +21,21 @@ type PowerOpts struct {
 	Tol float64
 	// Seed initializes the start vectors.
 	Seed uint64
+	// CheckpointEvery takes an in-memory snapshot of the solver state
+	// through Sink every k inner iterations, plus one at every component
+	// completion (0 disables checkpointing).
+	CheckpointEvery int
+	// Sink receives each snapshot. The pointed-to checkpoint and its
+	// buffers are owned by the solver and overwritten at the next
+	// snapshot; consumers needing longer-lived copies must clone.
+	Sink func(*Checkpoint)
+	// Resume restores the solver state (completed components, the
+	// mid-component iterate, iteration counters) from a snapshot
+	// previously emitted via Sink and continues from there. The RNG
+	// stream is advanced past the draws the interrupted run already
+	// consumed, so later components start exactly where an uninterrupted
+	// run would have.
+	Resume *Checkpoint
 }
 
 func (o *PowerOpts) fill() {
@@ -64,16 +79,63 @@ func PowerMethod(op dist.Operator, opts PowerOpts) PowerResult {
 
 	x := make([]float64, n)
 	gx := make([]float64, n)
-	for comp := 0; comp < opts.Components; comp++ {
-		// Random start, orthogonal to previously found components.
-		for i := range x {
-			x[i] = r.NormFloat64()
+
+	startComp, startIter := 0, 0
+	if opts.Resume != nil {
+		ck := opts.Resume
+		if len(ck.X) != n || ck.Comp > opts.Components || len(ck.Found) < ck.Comp || len(ck.Vals) < ck.Comp {
+			panic("solver: resume checkpoint does not match this solve")
 		}
-		deflate(x, found)
-		normalize(x)
+		startComp, startIter = ck.Comp, ck.Iter
+		for i := 0; i < startComp; i++ {
+			vec := mat.CopyVec(ck.Found[i])
+			found = append(found, vec)
+			vals = append(vals, ck.Vals[i])
+			res.Eigenvalues = append(res.Eigenvalues, ck.Vals[i])
+			res.Eigenvectors.SetCol(i, vec)
+		}
+		res.Iters = ck.TotalIters
+		if startIter > 0 {
+			copy(x, ck.X)
+		}
+		// Keep the RNG stream aligned with an uninterrupted run: burn the
+		// start-vector draws the interrupted run already consumed (one
+		// n-draw per component started), so every later component begins
+		// from the very same start vector it would have without the fault.
+		burn := startComp
+		if startIter > 0 {
+			burn++
+		}
+		for b := 0; b < burn; b++ {
+			for i := 0; i < n; i++ {
+				r.NormFloat64()
+			}
+		}
+	}
+
+	// The snapshot buffer is hoisted out of the iteration loops: a
+	// checkpoint is one copy into preallocated storage plus slice-header
+	// bookkeeping, never an allocation.
+	checkpointing := opts.CheckpointEvery > 0 && opts.Sink != nil
+	var ckpt Checkpoint
+	if checkpointing {
+		ckpt = Checkpoint{X: make([]float64, n)}
+	}
+
+	for comp := startComp; comp < opts.Components; comp++ {
+		if comp == startComp && startIter > 0 {
+			// Mid-component resume: x was restored from the checkpoint.
+		} else {
+			// Random start, orthogonal to previously found components.
+			for i := range x {
+				x[i] = r.NormFloat64()
+			}
+			deflate(x, found)
+			normalize(x)
+		}
 
 		lambda, prev := 0.0, math.Inf(1)
-		for it := 0; it < opts.MaxIters; it++ {
+		for it := startIter; it < opts.MaxIters; it++ {
 			st := op.Apply(x, gx)
 			res.Stats.Accumulate(st)
 			res.Iters++
@@ -90,11 +152,19 @@ func PowerMethod(op dist.Operator, opts PowerOpts) PowerResult {
 			for i := range x {
 				x[i] = gx[i] / lambda
 			}
+			if checkpointing && (it+1)%opts.CheckpointEvery == 0 {
+				copy(ckpt.X, x)
+				ckpt.Comp, ckpt.Iter = comp, it+1
+				ckpt.Found, ckpt.Vals = found, vals
+				ckpt.TotalIters = res.Iters
+				opts.Sink(&ckpt)
+			}
 			if math.Abs(lambda-prev) <= opts.Tol*lambda {
 				break
 			}
 			prev = lambda
 		}
+		startIter = 0
 		// Re-orthogonalize against earlier components to stop drift.
 		deflate(x, found)
 		normalize(x)
@@ -104,6 +174,15 @@ func PowerMethod(op dist.Operator, opts PowerOpts) PowerResult {
 		vals = append(vals, lambda)
 		res.Eigenvalues = append(res.Eigenvalues, lambda)
 		res.Eigenvectors.SetCol(comp, vec)
+
+		if checkpointing {
+			// Component boundary: Iter 0 means "next component not yet
+			// started", so a resume draws a fresh start vector.
+			ckpt.Comp, ckpt.Iter = comp+1, 0
+			ckpt.Found, ckpt.Vals = found, vals
+			ckpt.TotalIters = res.Iters
+			opts.Sink(&ckpt)
+		}
 	}
 	return res
 }

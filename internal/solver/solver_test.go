@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"extdict/internal/cluster"
+	"extdict/internal/cluster/clustertest"
 	"extdict/internal/dataset"
 	"extdict/internal/dist"
 	"extdict/internal/exd"
@@ -62,6 +63,23 @@ func singleCoreOp(a *mat.Dense) dist.Operator {
 	return dist.NewDenseGram(cluster.NewComm(cluster.NewPlatform(1, 1)), a)
 }
 
+// lassoWatched and powerWatched run the solvers under the shared cluster
+// watchdog so a collective deadlock fails the test with a goroutine dump
+// instead of hanging CI.
+func lassoWatched(t testing.TB, op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) LassoResult {
+	t.Helper()
+	var res LassoResult
+	clustertest.Watchdog(t, func() { res = Lasso(op, aty, yNorm2, opts) })
+	return res
+}
+
+func powerWatched(t testing.TB, op dist.Operator, opts PowerOpts) PowerResult {
+	t.Helper()
+	var res PowerResult
+	clustertest.Watchdog(t, func() { res = PowerMethod(op, opts) })
+	return res
+}
+
 func TestSoftThreshold(t *testing.T) {
 	cases := []struct{ v, thr, want float64 }{
 		{3, 1, 2}, {-3, 1, -2}, {0.5, 1, 0}, {-0.5, 1, 0}, {1, 1, 0}, {2, 0, 2},
@@ -87,7 +105,7 @@ func TestLassoUnregularizedSolvesLeastSquares(t *testing.T) {
 	}
 	y := a.MulVec(xTrue, nil)
 
-	res := Lasso(singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
+	res := lassoWatched(t, singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
 		Lambda: 0, MaxIters: 4000, Tol: 1e-14, LearningRate: 0.3,
 	})
 	rec := a.MulVec(res.X, nil)
@@ -108,7 +126,7 @@ func TestLassoObjectiveMonotoneAtConvergence(t *testing.T) {
 	for i := range y {
 		y[i] = r.NormFloat64()
 	}
-	res := Lasso(singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
+	res := lassoWatched(t, singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
 		Lambda: 0.1, MaxIters: 800,
 	})
 	if len(res.History) < 2 {
@@ -139,7 +157,7 @@ func TestLassoSparseRecovery(t *testing.T) {
 	xTrue[3], xTrue[17], xTrue[31] = 2, -1.5, 1
 	y := a.MulVec(xTrue, nil)
 
-	res := Lasso(singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
+	res := lassoWatched(t, singleCoreOp(a), a.MulVecT(y, nil), mat.Dot(y, y), LassoOpts{
 		Lambda: 0.001, MaxIters: 5000, Tol: 1e-13,
 	})
 	for i, want := range xTrue {
@@ -165,7 +183,7 @@ func TestLassoOnExDOperatorMatchesDense(t *testing.T) {
 	y2 := mat.Dot(y, y)
 	opts := LassoOpts{Lambda: 0.05, MaxIters: 1500, Tol: 1e-12}
 
-	dense := Lasso(singleCoreOp(u.A), aty, y2, opts)
+	dense := lassoWatched(t, singleCoreOp(u.A), aty, y2, opts)
 
 	tr, err := exd.Fit(u.A, exd.Params{L: 90, Epsilon: 0.01, Seed: 6, Workers: 2})
 	if err != nil {
@@ -175,7 +193,7 @@ func TestLassoOnExDOperatorMatchesDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx := Lasso(g, aty, y2, opts)
+	approx := lassoWatched(t, g, aty, y2, opts)
 
 	relObj := math.Abs(approx.Objective-dense.Objective) / math.Max(dense.Objective, 1e-12)
 	if relObj > 0.05 {
@@ -188,7 +206,7 @@ func TestLassoStatsAccumulate(t *testing.T) {
 	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 16, N: 60, Ks: []int{3}}, rng.New(7))
 	y := make([]float64, 16)
 	y[0] = 1
-	res := Lasso(singleCoreOp(u.A), u.A.MulVecT(y, nil), 1, LassoOpts{Lambda: 0.01, MaxIters: 25, Tol: 1e-30})
+	res := lassoWatched(t, singleCoreOp(u.A), u.A.MulVecT(y, nil), 1, LassoOpts{Lambda: 0.01, MaxIters: 25, Tol: 1e-30})
 	if res.Iters != 25 || res.Converged {
 		t.Fatalf("expected to exhaust iterations, got %d converged=%v", res.Iters, res.Converged)
 	}
@@ -206,7 +224,7 @@ func TestPowerMethodKnownSpectrum(t *testing.T) {
 	sigma := []float64{5, 3, 2, 1}
 	a, v := knownSpectrum(r, 30, 25, sigma)
 
-	res := PowerMethod(singleCoreOp(a), PowerOpts{Components: 4, Seed: 9})
+	res := powerWatched(t, singleCoreOp(a), PowerOpts{Components: 4, Seed: 9})
 	if len(res.Eigenvalues) != 4 {
 		t.Fatalf("got %d eigenvalues", len(res.Eigenvalues))
 	}
@@ -226,7 +244,7 @@ func TestPowerMethodKnownSpectrum(t *testing.T) {
 
 func TestPowerMethodEigenvectorsOrthonormal(t *testing.T) {
 	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 24, N: 40, Ks: []int{5}}, rng.New(10))
-	res := PowerMethod(singleCoreOp(u.A), PowerOpts{Components: 5, Seed: 11})
+	res := powerWatched(t, singleCoreOp(u.A), PowerOpts{Components: 5, Seed: 11})
 	for i := 0; i < 5; i++ {
 		vi := res.Eigenvectors.Col(i, nil)
 		for j := 0; j <= i; j++ {
@@ -252,14 +270,14 @@ func TestPowerMethodOnExDCloseToDense(t *testing.T) {
 	// Fig. 12's quantity: eigenvalues from the transformed operator track
 	// the exact ones within the transformation error budget.
 	u, _ := dataset.GenerateUnion(dataset.UnionParams{M: 32, N: 120, Ks: []int{4, 4}}, rng.New(12))
-	exact := PowerMethod(singleCoreOp(u.A), PowerOpts{Components: 5, Seed: 13})
+	exact := powerWatched(t, singleCoreOp(u.A), PowerOpts{Components: 5, Seed: 13})
 
 	tr, err := exd.Fit(u.A, exd.Params{L: 80, Epsilon: 0.02, Seed: 14, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	g, _ := dist.NewExDGram(cluster.NewComm(cluster.NewPlatform(1, 2)), tr.D, tr.C)
-	approx := PowerMethod(g, PowerOpts{Components: 5, Seed: 13})
+	approx := powerWatched(t, g, PowerOpts{Components: 5, Seed: 13})
 
 	var errSum, valSum float64
 	for k := range exact.Eigenvalues {
@@ -276,7 +294,7 @@ func TestPowerMethodRankDeficient(t *testing.T) {
 	// spin forever on the null space.
 	r := rng.New(15)
 	a, _ := knownSpectrum(r, 20, 15, []float64{4, 2})
-	res := PowerMethod(singleCoreOp(a), PowerOpts{Components: 3, Seed: 16, MaxIters: 100})
+	res := powerWatched(t, singleCoreOp(a), PowerOpts{Components: 3, Seed: 16, MaxIters: 100})
 	if res.Eigenvalues[2] > 1e-6 {
 		t.Fatalf("phantom eigenvalue %v", res.Eigenvalues[2])
 	}

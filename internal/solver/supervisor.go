@@ -1,0 +1,157 @@
+package solver
+
+import (
+	"fmt"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dist"
+	"extdict/internal/perf"
+)
+
+// Checkpoint is an in-memory snapshot of solver state, the unit of
+// fault-tolerance: solvers emit one through their Sink hook every
+// CheckpointEvery iterations, and the Supervisor feeds the last one back
+// through Resume when it restarts a solve after a rank crash. LASSO uses
+// Iter/X/Accum; the Power method uses Comp/Iter/X/Found/Vals/TotalIters.
+type Checkpoint struct {
+	// Iter is the completed-iteration counter: LASSO's global iteration,
+	// or the Power method's iteration within the current component (0 at
+	// a component boundary, meaning the next component has not started).
+	Iter int
+	// X is the current iterate (LASSO solution estimate, or the Power
+	// method's mid-component vector when Iter > 0).
+	X []float64
+	// Accum holds LASSO's Adagrad gradient-square accumulators.
+	Accum []float64
+	// Comp is the number of Power-method components already completed.
+	Comp int
+	// Found holds the completed components' eigenvectors (Power method).
+	Found [][]float64
+	// Vals holds the completed components' eigenvalues (Power method).
+	Vals []float64
+	// TotalIters is the Power method's iteration count across components.
+	TotalIters int
+}
+
+// SupervisorOpts configures fault-tolerant execution of a solve.
+type SupervisorOpts struct {
+	// MaxRetries caps how many crashes the supervisor absorbs before
+	// giving up (default 3). Each retry shrinks the communicator by the
+	// crashed rank, so retries are also bounded by P-1.
+	MaxRetries int
+	// CheckpointEvery is the snapshot cadence in solver iterations
+	// (default 10).
+	CheckpointEvery int
+	// BackoffBase is the base of the modeled exponential recovery pause,
+	// in virtual seconds (default 1). Retry i charges
+	// perf.RetryBackoff(BackoffBase, i) to the result's ModeledTime.
+	BackoffBase float64
+}
+
+func (o *SupervisorOpts) fill() {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 1
+	}
+}
+
+// Recovery reports what the supervisor had to do to finish a solve.
+type Recovery struct {
+	// Restarts is the number of crash-and-resume cycles performed.
+	Restarts int
+	// Crashes records each absorbed rank crash in order.
+	Crashes []cluster.RankCrash
+	// BackoffTime is the total modeled recovery pause in virtual seconds,
+	// already folded into the result's Stats.ModeledTime.
+	BackoffTime float64
+	// FinalP is the rank count of the communicator that finished the
+	// solve (the original P minus one per absorbed crash).
+	FinalP int
+}
+
+// recoverCrash runs f, converting a cluster.RankCrash panic into a returned
+// crash record. Any other panic — a genuine bug, or the mismatched-
+// collective misuse panic — propagates: the supervisor only absorbs the
+// failures the fault model can recover from.
+func recoverCrash(f func()) (crash *cluster.RankCrash) {
+	defer func() {
+		if e := recover(); e != nil {
+			if rc, ok := e.(cluster.RankCrash); ok {
+				crash = &rc
+				return
+			}
+			panic(e)
+		}
+	}()
+	f()
+	return nil
+}
+
+// superviseLoop drives the generic retry cycle: run attempt, and on a rank
+// crash shrink the communicator around the dead rank, charge the modeled
+// backoff, and go again from the last checkpoint (the attempt closure is
+// responsible for resuming). A crashed attempt's in-flight statistics die
+// with it — only completed attempts and the backoff reach the final result,
+// mirroring a real cluster where a dead worker's partial epoch is lost.
+func superviseLoop(comm *cluster.Comm, opts SupervisorOpts, attempt func(*cluster.Comm)) (*cluster.Comm, Recovery, error) {
+	rec := Recovery{FinalP: comm.P()}
+	for {
+		crash := recoverCrash(func() { attempt(comm) })
+		if crash == nil {
+			rec.FinalP = comm.P()
+			return comm, rec, nil
+		}
+		rec.Crashes = append(rec.Crashes, *crash)
+		if rec.Restarts >= opts.MaxRetries {
+			return comm, rec, fmt.Errorf("solver: supervisor exhausted %d retries: %w", opts.MaxRetries, *crash)
+		}
+		if comm.P() <= 1 {
+			return comm, rec, fmt.Errorf("solver: no surviving ranks to retry on: %w", *crash)
+		}
+		rec.BackoffTime += perf.RetryBackoff(opts.BackoffBase, rec.Restarts)
+		rec.Restarts++
+		comm = comm.Shrink(crash.Rank)
+	}
+}
+
+// SupervisedLasso runs Lasso under crash supervision. build constructs the
+// distributed Gram operator on a given communicator; it is re-invoked after
+// every crash so the operator re-partitions its data over the survivors.
+// The solve checkpoints every sup.CheckpointEvery iterations and resumes
+// from the last snapshot after each crash, so completed work is never
+// redone from scratch; the modeled backoff pause of every restart is added
+// to the result's Stats.ModeledTime. On success err is nil and rec tells
+// how many crashes were absorbed; after sup.MaxRetries crashes (or running
+// out of ranks) the partial result and the error are returned.
+func SupervisedLasso(comm *cluster.Comm, build func(*cluster.Comm) dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts, sup SupervisorOpts) (res LassoResult, rec Recovery, err error) {
+	sup.fill()
+	opts.CheckpointEvery = sup.CheckpointEvery
+	var last *Checkpoint
+	opts.Sink = func(c *Checkpoint) { last = c }
+	_, rec, err = superviseLoop(comm, sup, func(c *cluster.Comm) {
+		opts.Resume = last
+		res = Lasso(build(c), aty, yNorm2, opts)
+	})
+	res.Stats.ModeledTime += rec.BackoffTime
+	return res, rec, err
+}
+
+// SupervisedPower runs PowerMethod under crash supervision; see
+// SupervisedLasso for the retry/checkpoint/backoff contract.
+func SupervisedPower(comm *cluster.Comm, build func(*cluster.Comm) dist.Operator, opts PowerOpts, sup SupervisorOpts) (res PowerResult, rec Recovery, err error) {
+	sup.fill()
+	opts.CheckpointEvery = sup.CheckpointEvery
+	var last *Checkpoint
+	opts.Sink = func(c *Checkpoint) { last = c }
+	_, rec, err = superviseLoop(comm, sup, func(c *cluster.Comm) {
+		opts.Resume = last
+		res = PowerMethod(build(c), opts)
+	})
+	res.Stats.ModeledTime += rec.BackoffTime
+	return res, rec, err
+}

@@ -1,0 +1,224 @@
+package solver
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dist"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// lassoProblem builds a small consistent system with a unique LASSO
+// minimizer so fault-free and recovered solves must agree.
+func lassoProblem(seed uint64) (a *mat.Dense, aty []float64, yn2 float64) {
+	r := rng.New(seed)
+	a = mat.NewDense(40, 12)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	return a, a.MulVecT(y, nil), mat.Dot(y, y)
+}
+
+func tightLassoOpts() LassoOpts {
+	return LassoOpts{Lambda: 0.1, MaxIters: 3000, Tol: 1e-12}
+}
+
+func TestSupervisedLassoRecoversFromCrash(t *testing.T) {
+	a, aty, yn2 := lassoProblem(11)
+	base := Lasso(dist.NewDenseGram(cluster.NewComm(cluster.NewPlatform(1, 4)), a), aty, yn2, tightLassoOpts())
+
+	comm := cluster.NewComm(cluster.NewPlatform(1, 4))
+	comm.InstallFaultPlan(&cluster.FaultPlan{Faults: []cluster.Fault{
+		{Kind: cluster.FaultCrash, Rank: 2, Phase: 61},
+	}})
+	build := func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, a) }
+	res, rec, err := SupervisedLasso(comm, build, aty, yn2, tightLassoOpts(), SupervisorOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restarts != 1 || len(rec.Crashes) != 1 || rec.Crashes[0].Rank != 2 {
+		t.Fatalf("recovery %+v, want 1 restart of rank-2 crash", rec)
+	}
+	if rec.FinalP != 3 {
+		t.Fatalf("FinalP = %d, want 3", rec.FinalP)
+	}
+	if rec.BackoffTime <= 0 {
+		t.Fatal("recovery charged no backoff")
+	}
+	for i := range res.X {
+		if d := math.Abs(res.X[i] - base.X[i]); d > 1e-6 {
+			t.Fatalf("recovered x[%d] off by %g from fault-free", i, d)
+		}
+	}
+	// The resumed attempt did not start over: its history covers only the
+	// post-checkpoint window while the iteration counter carries the
+	// checkpointed prefix.
+	if len(res.History) >= res.Iters {
+		t.Fatalf("history covers %d of %d iters; resumed solve lost the pre-crash prefix",
+			len(res.History), res.Iters)
+	}
+}
+
+func TestSupervisedLassoCrashBeforeFirstCheckpoint(t *testing.T) {
+	a, aty, yn2 := lassoProblem(12)
+	comm := cluster.NewComm(cluster.NewPlatform(1, 4))
+	comm.InstallFaultPlan(&cluster.FaultPlan{Faults: []cluster.Fault{
+		{Kind: cluster.FaultCrash, Rank: 0, Phase: 2},
+	}})
+	build := func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, a) }
+	res, rec, err := SupervisedLasso(comm, build, aty, yn2, tightLassoOpts(), SupervisorOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", rec.Restarts)
+	}
+	if !res.Converged {
+		t.Fatal("restarted-from-scratch solve did not converge")
+	}
+}
+
+func TestSupervisedLassoExhaustsRetries(t *testing.T) {
+	a, aty, yn2 := lassoProblem(13)
+	comm := cluster.NewComm(cluster.NewPlatform(1, 4))
+	comm.InstallFaultPlan(&cluster.FaultPlan{Faults: []cluster.Fault{
+		{Kind: cluster.FaultCrash, Rank: 0, Phase: 11},
+		// Targets a survivor: after rank 0 dies this renumbers to rank 1
+		// of the shrunk communicator and still fires.
+		{Kind: cluster.FaultCrash, Rank: 2, Phase: 31},
+	}})
+	build := func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, a) }
+	_, rec, err := SupervisedLasso(comm, build, aty, yn2, tightLassoOpts(), SupervisorOpts{MaxRetries: 1})
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	// The second crash renumbered to rank 1 of the shrunk communicator.
+	if !strings.Contains(err.Error(), "rank 1 killed by fault plan") {
+		t.Fatalf("error %q does not name the dead rank", err)
+	}
+	if len(rec.Crashes) != 2 || rec.Restarts != 1 {
+		t.Fatalf("recovery %+v, want 2 crashes and 1 restart", rec)
+	}
+}
+
+func TestSupervisedPowerRecoversFromCrash(t *testing.T) {
+	r := rng.New(21)
+	a, _ := knownSpectrum(r, 30, 16, []float64{4, 2, 1})
+	popts := PowerOpts{Components: 3, MaxIters: 500, Tol: 1e-12, Seed: 7}
+	base := PowerMethod(dist.NewDenseGram(cluster.NewComm(cluster.NewPlatform(1, 4)), a), popts)
+
+	comm := cluster.NewComm(cluster.NewPlatform(1, 4))
+	comm.InstallFaultPlan(&cluster.FaultPlan{Faults: []cluster.Fault{
+		{Kind: cluster.FaultCrash, Rank: 1, Phase: 21},
+	}})
+	build := func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, a) }
+	res, rec, err := SupervisedPower(comm, build, popts, SupervisorOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restarts != 1 || rec.FinalP != 3 {
+		t.Fatalf("recovery %+v, want 1 restart ending at P=3", rec)
+	}
+	for k := range base.Eigenvalues {
+		if d := math.Abs(res.Eigenvalues[k] - base.Eigenvalues[k]); d > 1e-6 {
+			t.Fatalf("eigenvalue %d off by %g from fault-free", k, d)
+		}
+		// Eigenvectors are defined up to sign.
+		var dot float64
+		for i := 0; i < 16; i++ {
+			dot += res.Eigenvectors.At(i, k) * base.Eigenvectors.At(i, k)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-6 {
+			t.Fatalf("eigenvector %d misaligned: |dot| = %g", k, math.Abs(dot))
+		}
+	}
+}
+
+func TestLassoCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	// Pure solver-level contract, no faults: resuming from a mid-solve
+	// snapshot continues the same trajectory the uninterrupted solve took.
+	a, aty, yn2 := lassoProblem(14)
+	op := singleCoreOp(a)
+
+	var snap *Checkpoint
+	opts := tightLassoOpts()
+	opts.CheckpointEvery = 25
+	opts.Sink = func(c *Checkpoint) {
+		if snap == nil && c.Iter == 50 {
+			snap = &Checkpoint{
+				Iter:  c.Iter,
+				X:     append([]float64(nil), c.X...),
+				Accum: append([]float64(nil), c.Accum...),
+			}
+		}
+	}
+	full := Lasso(op, aty, yn2, opts)
+	if snap == nil {
+		t.Fatal("no iteration-50 checkpoint emitted")
+	}
+
+	resumed := Lasso(op, aty, yn2, LassoOpts{
+		Lambda: 0.1, MaxIters: 3000, Tol: 1e-12, Resume: snap,
+	})
+	for i := range full.X {
+		if d := math.Abs(full.X[i] - resumed.X[i]); d > 1e-9 {
+			t.Fatalf("resumed x[%d] off by %g from uninterrupted", i, d)
+		}
+	}
+	if resumed.Iters <= 50 {
+		t.Fatalf("resumed Iters = %d, want > 50", resumed.Iters)
+	}
+}
+
+func TestPowerCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	r := rng.New(22)
+	a, _ := knownSpectrum(r, 24, 12, []float64{5, 3, 1.5})
+	op := singleCoreOp(a)
+	popts := PowerOpts{Components: 3, MaxIters: 400, Tol: 1e-12, Seed: 9}
+	full := PowerMethod(op, popts)
+
+	// Grab one mid-component snapshot and one component-boundary snapshot.
+	var mid, boundary *Checkpoint
+	withSink := popts
+	withSink.CheckpointEvery = 7
+	withSink.Sink = func(c *Checkpoint) {
+		clone := &Checkpoint{
+			Iter: c.Iter, Comp: c.Comp, TotalIters: c.TotalIters,
+			X:    append([]float64(nil), c.X...),
+			Vals: append([]float64(nil), c.Vals...),
+		}
+		for _, f := range c.Found {
+			clone.Found = append(clone.Found, append([]float64(nil), f...))
+		}
+		if mid == nil && c.Comp == 1 && c.Iter > 0 {
+			mid = clone
+		}
+		if boundary == nil && c.Comp == 2 && c.Iter == 0 {
+			boundary = clone
+		}
+	}
+	if got := PowerMethod(op, withSink); math.Abs(got.Eigenvalues[0]-full.Eigenvalues[0]) > 1e-12 {
+		t.Fatal("enabling checkpointing changed the solve")
+	}
+	if mid == nil || boundary == nil {
+		t.Fatal("expected snapshots not emitted")
+	}
+
+	for name, snap := range map[string]*Checkpoint{"mid-component": mid, "boundary": boundary} {
+		re := popts
+		re.Resume = snap
+		res := PowerMethod(op, re)
+		for k := range full.Eigenvalues {
+			if d := math.Abs(res.Eigenvalues[k] - full.Eigenvalues[k]); d > 1e-9 {
+				t.Fatalf("%s resume: eigenvalue %d off by %g", name, k, d)
+			}
+		}
+	}
+}

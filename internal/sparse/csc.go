@@ -194,6 +194,9 @@ func (m *CSC) ShiftRows(offset, newRows int) *CSC {
 // Check validates the CSC invariants, returning a descriptive error when the
 // structure is malformed. Used by tests and by the builder.
 func (m *CSC) Check() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
 	if len(m.ColPtr) != m.Cols+1 {
 		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(m.ColPtr), m.Cols+1)
 	}
