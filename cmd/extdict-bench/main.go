@@ -1,17 +1,22 @@
 // Command extdict-bench regenerates the paper's evaluation artifacts (every
-// table and figure of §VIII) and prints them as text tables.
+// table and figure of §VIII) and prints them as text tables, or — with
+// -json — emits a machine-readable benchmark baseline combining kernel
+// microbenchmark timings with the experiments' reported metrics.
 //
 // Usage:
 //
 //	extdict-bench -exp fig7              # one experiment
 //	extdict-bench -exp all -scale 0.5    # everything, half-size datasets
+//	extdict-bench -json -exp fig4,fig7,tab2 -scale 0.5 > BENCH_PR5.json
 //
 // Experiments: fig4 fig5 fig6 tab2 fig7 tab3 fig8 fig9 fig10 fig11 fig12.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -21,13 +26,31 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "extdict-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// jsonReport is the -json output schema. Kernel timings and experiment
+// metrics together form a benchmark baseline: commit one, re-run after a
+// kernel change, and diff — ns/op may only improve, metrics must not move.
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	Scale       float64          `json:"scale"`
+	Seed        uint64           `json:"seed"`
+	Workers     int              `json:"workers"`
+	Kernels     []kernelTiming   `json:"kernels"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string             `json:"id"`
+	WallMS  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("extdict-bench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (fig4..fig12, tab2, tab3) or 'all'")
 	scale := fs.Float64("scale", 1, "dataset size multiplier (1 = paper-shaped laptop scale)")
@@ -35,6 +58,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "preprocessing workers (0 = GOMAXPROCS)")
 	trials := fs.Int("trials", 10, "random-dictionary trials for fig4")
 	components := fs.Int("components", 10, "eigenvalues for fig10/fig12")
+	asJSON := fs.Bool("json", false, "emit kernel timings and experiment metrics as JSON instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,16 +81,46 @@ func run(args []string) error {
 	}
 
 	cfg := benchConfig{Scale: *scale, Seed: *seed, Workers: *workers}
+	if *asJSON {
+		return runJSON(w, reg, ids, cfg)
+	}
 	for _, id := range ids {
 		sw := perf.StartWall()
-		table, err := reg[id](cfg)
+		art, err := reg[id](cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Println(table)
-		fmt.Printf("[%s completed in %v]\n\n", id, sw.Elapsed().Round(time.Millisecond))
+		fmt.Fprintln(w, art.Table)
+		fmt.Fprintf(w, "[%s completed in %v]\n\n", id, sw.Elapsed().Round(time.Millisecond))
 	}
 	return nil
+}
+
+// runJSON times the kernel microbenchmarks, runs the selected experiments,
+// and writes the combined baseline report.
+func runJSON(w io.Writer, reg map[string]runner, ids []string, cfg benchConfig) error {
+	rep := jsonReport{
+		Schema:  "extdict-bench/v1",
+		Scale:   cfg.Scale,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Kernels: kernelBaselines(cfg.Seed),
+	}
+	for _, id := range ids {
+		sw := perf.StartWall()
+		art, err := reg[id](cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		rep.Experiments = append(rep.Experiments, jsonExperiment{
+			ID:      id,
+			WallMS:  float64(sw.Elapsed().Nanoseconds()) / 1e6,
+			Metrics: art.Metrics,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func keys(m map[string]runner) []string {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
@@ -19,7 +22,8 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "fig99"}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+	err := run([]string{"-exp", "fig99"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("unknown experiment accepted: %v", err)
 	}
 }
@@ -27,7 +31,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunSingleExperimentSmall(t *testing.T) {
 	// The cheapest artifact at a tiny scale keeps this an actual
 	// end-to-end run of flag parsing, driver, and renderer.
-	if err := run([]string{"-exp", "tab3", "-scale", "0.05", "-trials", "2"}); err != nil {
+	if err := run([]string{"-exp", "tab3", "-scale", "0.05", "-trials", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -36,12 +40,43 @@ func TestRunnersRenderTables(t *testing.T) {
 	cfg := benchConfig{Scale: 0.05, Seed: 9, Workers: 2}
 	reg := registry(2, 2)
 	for _, id := range []string{"fig5", "tab2"} {
-		out, err := reg[id](cfg)
+		art, err := reg[id](cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
-		if !strings.Contains(out, "---") {
-			t.Fatalf("%s rendered no table:\n%s", id, out)
+		if !strings.Contains(art.Table, "---") {
+			t.Fatalf("%s rendered no table:\n%s", id, art.Table)
 		}
+	}
+}
+
+// TestJSONOutputParses is the CI gate for the -json pipeline: the report
+// must be valid JSON carrying the schema tag, the three kernel baselines,
+// and non-empty metrics for an experiment that exposes them.
+func TestJSONOutputParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-exp", "tab2", "-scale", "0.05", "-trials", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Schema != "extdict-bench/v1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Kernels) != 3 {
+		t.Fatalf("want 3 kernel baselines, got %d", len(rep.Kernels))
+	}
+	for _, k := range rep.Kernels {
+		if k.NsPerOp <= 0 || k.RefNsPerOp <= 0 {
+			t.Fatalf("kernel %s has non-positive timing: %+v", k.Name, k)
+		}
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "tab2" {
+		t.Fatalf("experiments: %+v", rep.Experiments)
+	}
+	if len(rep.Experiments[0].Metrics) == 0 {
+		t.Fatal("tab2 reported no metrics")
 	}
 }

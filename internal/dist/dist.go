@@ -116,15 +116,17 @@ func (g *DenseGram) Apply(x, y []float64) cluster.Stats {
 		lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
 		blk := g.blocks[r.ID]
 
-		// v_i = A_i·x_i  (2·M·n_i flops: multiply + add per entry).
-		v := blk.MulVec(x[lo:hi], g.scratch[r.ID])
+		// v_i = A_i·x_i  (2·M·n_i flops: multiply + add per entry). The
+		// pool-parallel kernel splits rows across idle cores; the flop count
+		// is the serial contract.
+		v := blk.ParMulVec(x[lo:hi], g.scratch[r.ID])
 		r.AddFlops(2 * int64(g.m) * int64(hi-lo))
 
 		// v = Σ v_i across ranks; everyone needs it for step 2.
 		r.Allreduce(v)
 
 		// y_i = A_iᵀ·v.
-		blk.MulVecT(v, y[lo:hi])
+		blk.ParMulVecT(v, y[lo:hi])
 		r.AddFlops(2 * int64(g.m) * int64(hi-lo))
 	})
 }
@@ -230,8 +232,8 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 	v3 := v1
 	if r.ID == 0 {
 		// Steps 4-5 on rank 0 only: v² = D·v¹ then v³ = Dᵀ·v².
-		v2 := g.d.MulVec(v1, g.scratch[r.ID].vm)
-		g.d.MulVecT(v2, v3)
+		v2 := g.d.ParMulVec(v1, g.scratch[r.ID].vm)
+		g.d.ParMulVecT(v2, v3)
 		r.AddFlops(2 * 2 * int64(g.m) * int64(g.l))
 	}
 
@@ -253,7 +255,7 @@ func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
 	r.AddFlops(2 * g.nnz[r.ID])
 
 	// Step 3: v²_i = D·v¹_i locally (the replication saves words later).
-	v2 := g.d.MulVec(v1, g.scratch[r.ID].vm)
+	v2 := g.d.ParMulVec(v1, g.scratch[r.ID].vm)
 	r.AddFlops(2 * int64(g.m) * int64(g.l))
 
 	// Steps 4-6: v = Σ v²_i, everywhere (M words each way).
@@ -261,7 +263,7 @@ func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
 
 	// Step 7: y_i = C_iᵀ·(Dᵀ·v) — the Dᵀ·v multiply is redundant on every
 	// rank; that is the price Case 2 pays to keep communication at M.
-	w := g.d.MulVecT(v2, g.scratch[r.ID].vl2)
+	w := g.d.ParMulVecT(v2, g.scratch[r.ID].vl2)
 	r.AddFlops(2 * int64(g.m) * int64(g.l))
 	blk.MulVecT(w, y[lo:hi])
 	r.AddFlops(2 * g.nnz[r.ID])

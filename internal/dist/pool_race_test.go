@@ -1,0 +1,44 @@
+package dist
+
+import (
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+)
+
+// TestSharedPoolUnderConcurrentRanks drives DenseGram.Apply — whose per-rank
+// bodies call the pool-backed ParMulVec/ParMulVecT concurrently from every
+// simulated rank goroutine — on a large enough block that the parallel paths
+// actually engage, and checks the shared pool never runs more workers than
+// its global budget. Run under -race this also exercises the pool's
+// submit/execute handoff for data races between ranks.
+func TestSharedPoolUnderConcurrentRanks(t *testing.T) {
+	oldWorkers := mat.Workers
+	mat.Workers = 4
+	defer func() { mat.Workers = oldWorkers }()
+
+	a := testData(t, 300, 600, 31)
+	x := randVec(rng.New(32), 600)
+	want := a.MulVecT(a.MulVec(x, nil), nil)
+
+	plat := cluster.PaperPlatforms()[0]
+	comm := cluster.NewComm(plat)
+	g := NewDenseGram(comm, a)
+
+	mat.ResetPoolPeak()
+	y := make([]float64, 600)
+	for iter := 0; iter < 10; iter++ {
+		applyWatched(t, g, x, y)
+	}
+	for i := range want {
+		if diff := y[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("mismatch at %d: %v vs %v", i, y[i], want[i])
+		}
+	}
+	if peak, budget := mat.PoolPeakWorkers(), mat.PoolBudget(); peak > budget {
+		t.Fatalf("pool peak %d exceeds budget %d with %d concurrent ranks",
+			peak, budget, plat.Topology.P())
+	}
+}

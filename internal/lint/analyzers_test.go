@@ -48,6 +48,11 @@ func TestCostModelFixture(t *testing.T) {
 	runFixtureExpectNone(t, CostModel, fixturePath("costmodel", "fixture.go"), "extdict/internal/experiments")
 }
 
+func TestCostModelKernelContractsFixture(t *testing.T) {
+	runFixture(t, CostModel, fixturePath("costmodel", "kernels.go"), "extdict/internal/dist")
+	runFixtureExpectNone(t, CostModel, fixturePath("costmodel", "kernels.go"), "extdict/internal/experiments")
+}
+
 func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc, fixturePath("hotalloc", "bad.go"), "extdict/internal/solver")
 	// Outside dist/solver the check does not apply.

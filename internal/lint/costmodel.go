@@ -369,14 +369,36 @@ func (c *costWalk) exprFlops(e ast.Expr) symExpr {
 
 // kernelFlops prices a matrix-vector kernel call: Dense kernels cost
 // 2·rows·cols of the receiver (one multiply and one add per matrix entry),
-// CSC kernels 2·NNZ of the receiver — the terms of Eqs. 2-4.
+// CSC kernels 2·NNZ of the receiver — the terms of Eqs. 2-4. The unrolled /
+// pool-parallel kernels (ParMulVec, ParMulVecT) carry the same contracts as
+// their serial forms: register blocking and chunked execution regroup the
+// multiply-adds without changing their count. The package-level vector
+// kernels mat.Dot and mat.Axpy cost 2·len(x) each (one multiply and one add
+// per element).
 func (c *costWalk) kernelFlops(call *ast.CallExpr) (symExpr, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return nil, false
 	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := c.st.info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "extdict/internal/mat" {
+				switch sel.Sel.Name {
+				case "Dot":
+					if len(call.Args) == 2 {
+						return c.lenFlops(call.Args[0]), true
+					}
+				case "Axpy":
+					if len(call.Args) == 3 {
+						return c.lenFlops(call.Args[1]), true
+					}
+				}
+			}
+			return nil, false
+		}
+	}
 	switch sel.Sel.Name {
-	case "MulVec", "MulVecT", "ParMulVec":
+	case "MulVec", "MulVecT", "ParMulVec", "ParMulVecT":
 	default:
 		return nil, false
 	}
@@ -395,6 +417,15 @@ func (c *costWalk) kernelFlops(call *ast.CallExpr) (symExpr, bool) {
 		return symMul{symConst(2), symVar("NNZ(" + name + ")")}, true
 	}
 	return nil, false
+}
+
+// lenFlops prices a 2-flops-per-element vector kernel over the slice e.
+func (c *costWalk) lenFlops(e ast.Expr) symExpr {
+	l := c.st.symLen(e)
+	if isUnknown(l) {
+		return symUnknown{}
+	}
+	return symMul{symConst(2), l}
 }
 
 // canonRecv renders the canonical name of a kernel receiver: a field chain

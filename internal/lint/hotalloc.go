@@ -8,7 +8,9 @@ import (
 // nilDstKernels are the mat kernels whose final destination argument, when
 // nil, makes the kernel allocate its result. In a hot region the caller must
 // pass a scratch buffer instead.
-var nilDstKernels = map[string]bool{"MulVec": true, "MulVecT": true, "ParMulVec": true}
+var nilDstKernels = map[string]bool{
+	"MulVec": true, "MulVecT": true, "ParMulVec": true, "ParMulVecT": true,
+}
 
 // hotCallNames mark a loop body as per-iteration hot: applying an operator,
 // reporting flops, or running a collective all mean the loop is the

@@ -362,15 +362,15 @@ func underlyingStruct(t types.Type) (*types.Struct, bool) {
 }
 
 // kernelDst recognizes the matrix-vector kernels' destination-return
-// contract — MulVec/MulVecT/ParMulVec(x, dst) return dst — and yields the
-// destination expression.
+// contract — MulVec/MulVecT/ParMulVec/ParMulVecT(x, dst) return dst — and
+// yields the destination expression.
 func kernelDst(call *ast.CallExpr) (ast.Expr, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return nil, false
 	}
 	switch sel.Sel.Name {
-	case "MulVec", "MulVecT", "ParMulVec":
+	case "MulVec", "MulVecT", "ParMulVec", "ParMulVecT":
 		if len(call.Args) >= 2 {
 			return call.Args[len(call.Args)-1], true
 		}

@@ -1,0 +1,62 @@
+// Package fixture (kernels.go) exercises the kernel-contract half of
+// costmodel: the package-level vector kernels mat.Dot / mat.Axpy price
+// 2·len(x) each, and the pool-parallel Dense kernels ParMulVec / ParMulVecT
+// carry the same 2·rows·cols contract as their serial forms — register
+// blocking and chunked execution regroup the multiply-adds without changing
+// their count. Run as extdict/internal/dist.
+package fixture
+
+import (
+	"extdict/internal/cluster"
+	"extdict/internal/mat"
+)
+
+// dotKernel: one package-level dot product, claimed exactly — quiet.
+func dotKernel(r *cluster.Rank, x, y []float64) {
+	_ = mat.Dot(x, y)
+	r.AddFlops(2 * int64(len(x)))
+}
+
+// axpyUnder: the mat.Axpy contract derives 2·len(x) but the claim halves it.
+func axpyUnder(r *cluster.Rank, a float64, x, y []float64) {
+	mat.Axpy(a, x, y)
+	r.AddFlops(int64(len(x))) // want "AddFlops claims"
+}
+
+// batchDots mirrors BatchGram.Apply's loop shape: one dot per batch row over
+// a column window, derived as len(rows)·2·(hi-lo) through the slice-length
+// substitution and claimed in the same variables.
+func batchDots(r *cluster.Rank, rows [][]float64, x, v []float64, lo, hi int) {
+	xi := x[lo:hi]
+	for bi, row := range rows {
+		rowSlice := row[lo:hi]
+		v[bi] = mat.Dot(rowSlice, xi)
+	}
+	r.AddFlops(2 * int64(len(rows)) * int64(hi-lo))
+}
+
+// poolOp stands in for a distributed operator holding a dense block whose
+// dimensions the constructor binds (d: m×l).
+type poolOp struct {
+	d    *mat.Dense
+	m, l int
+}
+
+func newPoolOp(d *mat.Dense) *poolOp {
+	g := &poolOp{d: d, m: d.Rows, l: d.Cols}
+	return g
+}
+
+// apply prices the pool-parallel round trip exactly as the serial one:
+// ParMulVec + ParMulVecT = 2·m·l + 2·m·l — quiet.
+func (g *poolOp) apply(r *cluster.Rank, x, v, y []float64) {
+	g.d.ParMulVec(x, v)
+	g.d.ParMulVecT(v, y)
+	r.AddFlops(4 * int64(g.m) * int64(g.l))
+}
+
+// applyOver claims the round trip but runs only half of it.
+func (g *poolOp) applyOver(r *cluster.Rank, x, v []float64) {
+	g.d.ParMulVec(x, v)
+	r.AddFlops(4 * int64(g.m) * int64(g.l)) // want "AddFlops claims"
+}

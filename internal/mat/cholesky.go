@@ -73,11 +73,8 @@ func (c *Cholesky) Append(col []float64, diag float64) error {
 	// Forward substitution: w = L⁻¹ col, written directly into the new row.
 	row := c.l[n*c.stride : n*c.stride+n]
 	for i := 0; i < n; i++ {
-		s := col[i]
 		li := c.l[i*c.stride : i*c.stride+i]
-		for j, v := range li {
-			s -= v * row[j]
-		}
+		s := col[i] - dotK(li, row)
 		row[i] = s / c.at(i, i)
 	}
 	var wtw float64
@@ -102,11 +99,8 @@ func (c *Cholesky) SolveInPlace(b []float64) {
 	n := c.n
 	// Forward: L·y = b.
 	for i := 0; i < n; i++ {
-		s := b[i]
 		row := c.l[i*c.stride : i*c.stride+i]
-		for j, v := range row {
-			s -= v * b[j]
-		}
+		s := b[i] - dotK(row, b)
 		b[i] = s / c.at(i, i)
 	}
 	// Backward: Lᵀ·x = y.
@@ -119,9 +113,21 @@ func (c *Cholesky) SolveInPlace(b []float64) {
 	}
 }
 
+// choleskyBlock is the panel width of the blocked Factorize. Within a panel
+// the trailing correction loop touches at most choleskyBlock columns (an
+// L1-resident strip); everything left of the panel is applied with the
+// unrolled dot kernel in one contiguous pass per element.
+const choleskyBlock = 64
+
 // Factorize computes the full factorization of the symmetric positive
 // definite matrix s, replacing any existing factor. Only the lower triangle
 // of s is read.
+//
+// The loop nest is the left-looking blocked ordering: rows are processed in
+// panels of choleskyBlock columns, and for element (i, j) the update from
+// columns left of the panel — the dominant cost — is a single contiguous
+// dot product (dotK) of finished row prefixes. It computes exactly the same
+// multiply-subtract set as the textbook Cholesky–Crout loop, regrouped.
 func (c *Cholesky) Factorize(s *Dense) error {
 	if s.Rows != s.Cols {
 		panic("mat: Cholesky.Factorize requires a square matrix")
@@ -129,19 +135,27 @@ func (c *Cholesky) Factorize(s *Dense) error {
 	n := s.Rows
 	c.n = 0
 	c.growTo(n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			sum := s.At(i, j)
-			for k := 0; k < j; k++ {
-				sum -= c.at(i, k) * c.at(j, k)
-			}
-			if i == j {
-				if sum <= 0 || math.IsNaN(sum) {
-					return ErrNotPositiveDefinite
+	for j0 := 0; j0 < n; j0 += choleskyBlock {
+		j1 := min(j0+choleskyBlock, n)
+		for i := j0; i < n; i++ {
+			li := c.l[i*c.stride : i*c.stride+i+1]
+			for j := j0; j <= i && j < j1; j++ {
+				lj := c.l[j*c.stride : j*c.stride+j+1]
+				// Columns [0, j0): finished in earlier panels, one dot.
+				sum := s.At(i, j) - dotK(li[:j0], lj[:j0])
+				// Columns [j0, j): the in-panel strip, at most
+				// choleskyBlock wide.
+				for k := j0; k < j; k++ {
+					sum -= li[k] * lj[k]
 				}
-				c.set(i, i, math.Sqrt(sum))
-			} else {
-				c.set(i, j, sum/c.at(j, j))
+				if i == j {
+					if sum <= 0 || math.IsNaN(sum) {
+						return ErrNotPositiveDefinite
+					}
+					li[i] = math.Sqrt(sum)
+				} else {
+					li[j] = sum / lj[j]
+				}
 			}
 		}
 	}

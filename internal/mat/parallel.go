@@ -1,44 +1,71 @@
 package mat
 
 import (
+	"math"
 	"runtime"
 	"sync"
 )
 
-// Workers is the default number of goroutines used by the parallel kernels.
-// It is a variable so tests can pin it for determinism of scheduling-related
-// behaviour (results are identical either way).
+// Workers is the default number of chunks the parallel kernels split their
+// work into. It is a variable so tests can pin it: at a pinned value every
+// parallel kernel here is deterministic run-to-run (fixed chunk boundaries,
+// fixed merge order).
 var Workers = runtime.GOMAXPROCS(0)
 
-// parallelFor runs body(lo, hi) over a partition of [0, n) across at most
-// Workers goroutines. When n is small the body runs inline.
-func parallelFor(n int, body func(lo, hi int)) {
-	w := Workers
+// parallelThreshold is the minimum problem size worth splitting; below it
+// the chunk bookkeeping costs more than the work.
+const parallelThreshold = 256
+
+// ParallelChunks partitions [0, n) into exactly w balanced chunks — chunk c
+// is [c·n/w, (c+1)·n/w), sizes differing by at most one — and runs
+// body(c, lo, hi) once per chunk, covering every index exactly once. Chunks
+// beyond the first are offered to the shared worker pool; chunk 0, and any
+// chunk the pool is too busy to take, runs on the calling goroutine. w is
+// clamped to [1, n]; the chunk boundaries depend only on (n, w), never on
+// scheduling.
+func ParallelChunks(n, w int, body func(c, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
 	if w > n {
 		w = n
 	}
-	if w <= 1 || n < 256 {
-		body(0, n)
+	if w <= 1 {
+		body(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	for c := 1; c < w; c++ {
+		c, lo, hi := c, c*n/w, (c+1)*n/w
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+		if !trySubmit(func() { body(c, lo, hi) }, &wg) {
+			body(c, lo, hi)
+			wg.Done()
+		}
 	}
+	body(0, 0, n/w)
 	wg.Wait()
 }
 
-// ParMulVec computes y = A·x across goroutines, partitioning output rows.
-// Semantics match MulVec.
+// parallelFor runs body(lo, hi) over a partition of [0, n) in at most
+// Workers chunks via the shared pool. Small n runs inline.
+func parallelFor(n int, body func(lo, hi int)) {
+	w := Workers
+	if w <= 1 || n < parallelThreshold {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	ParallelChunks(n, w, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ParMulVec computes y = A·x with output rows split across the worker pool.
+// Semantics match MulVec. Each y[i] is produced by exactly one chunk with the
+// serial kernel, and chunk boundaries are rounded down to multiples of the
+// mulVecBlock row blocking so every row lands in the same dot-kernel group
+// it occupies serially — the result is deterministic at any worker count and
+// matches MulVec to the last bit.
 func (m *Dense) ParMulVec(x, y []float64) []float64 {
 	if len(x) != m.Cols {
 		panic("mat: ParMulVec dimension mismatch")
@@ -49,39 +76,152 @@ func (m *Dense) ParMulVec(x, y []float64) []float64 {
 	if len(y) != m.Rows {
 		panic("mat: ParMulVec output length mismatch")
 	}
-	parallelFor(m.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			var s float64
-			for j, v := range row {
-				s += v * x[j]
-			}
-			y[i] = s
+	n := m.Rows
+	w := Workers
+	if w <= 1 || n < parallelThreshold {
+		mulVecRows(m, x, y, 0, n)
+		return y
+	}
+	if w > n/mulVecBlock {
+		w = n / mulVecBlock // keep every boundary block-aligned, chunks non-empty
+	}
+	align := func(r int) int { return r - r%mulVecBlock }
+	var wg sync.WaitGroup
+	for c := 1; c < w; c++ {
+		lo, hi := align(c*n/w), align((c+1)*n/w)
+		if c == w-1 {
+			hi = n
 		}
-	})
+		wg.Add(1)
+		if !trySubmit(func() { mulVecRows(m, x, y[lo:hi], lo, hi) }, &wg) {
+			mulVecRows(m, x, y[lo:hi], lo, hi)
+			wg.Done()
+		}
+	}
+	hi0 := align(n / w)
+	mulVecRows(m, x, y[:hi0], 0, hi0)
+	wg.Wait()
 	return y
 }
 
-// ParMulTo computes dst = A·B across goroutines, partitioning output rows.
-// Semantics match MulTo.
+// ParMulTo computes dst = A·B with output rows split across the worker pool.
+// Semantics match MulTo; each dst row is owned by one chunk, so the result
+// is deterministic at any worker count.
 func ParMulTo(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("mat: ParMulTo dimension mismatch")
 	}
 	parallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst.Row(i)
-			Zero(drow)
-			arow := a.Row(i)
-			for k, aik := range arow {
-				if aik == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, v := range brow {
-					drow[j] += aik * v
-				}
-			}
+		sub := &Dense{Rows: hi - lo, Cols: a.Cols, Stride: a.Stride, Data: a.Data[lo*a.Stride:]}
+		dsub := &Dense{Rows: hi - lo, Cols: dst.Cols, Stride: dst.Stride, Data: dst.Data[lo*dst.Stride:]}
+		for i := 0; i < dsub.Rows; i++ {
+			Zero(dsub.Row(i))
+		}
+		for jLo := 0; jLo < b.Cols; jLo += mulToTileJ {
+			jHi := min(jLo+mulToTileJ, b.Cols)
+			mulToPanel(dsub, sub, b, jLo, jHi)
 		}
 	})
+}
+
+// parMulVecTBufs recycles the per-worker partial vectors of ParMulVecT.
+var parMulVecTBufs = sync.Pool{New: func() any { return new([]float64) }}
+
+// ParMulVecT computes y = Aᵀ·x with input rows split across the worker pool.
+// Semantics match MulVecT. Each chunk accumulates into its own partial
+// buffer and the partials are merged in fixed chunk order, so at a pinned
+// Workers the result is bit-identical run-to-run (and within 1e-12-grade
+// rounding of the serial MulVecT; with Workers <= 1 it IS the serial path).
+func (m *Dense) ParMulVecT(x, y []float64) []float64 {
+	if len(x) != m.Rows {
+		panic("mat: ParMulVecT dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, m.Cols)
+	}
+	if len(y) != m.Cols {
+		panic("mat: ParMulVecT output length mismatch")
+	}
+	w := Workers
+	if w > m.Rows {
+		w = m.Rows
+	}
+	if w <= 1 || m.Rows < parallelThreshold {
+		return m.MulVecT(x, y)
+	}
+	partials := make([][]float64, w)
+	ParallelChunks(m.Rows, w, func(c, lo, hi int) {
+		bp := parMulVecTBufs.Get().(*[]float64)
+		buf := *bp
+		if cap(buf) < m.Cols {
+			buf = make([]float64, m.Cols)
+		}
+		buf = buf[:m.Cols]
+		Zero(buf)
+		mulVecTRows(m, x[lo:hi], buf, lo, hi)
+		partials[c] = buf
+	})
+	Zero(y)
+	for _, p := range partials {
+		AddVec(y, y, p)
+		parMulVecTBufs.Put(&p)
+	}
+	return y
+}
+
+// ParATA computes G = AᵀA with the Gram matrix's rows split across the
+// worker pool. Semantics match ATA. Each output element is owned by exactly
+// one chunk and accumulated in the same order the serial ataPanel uses, so
+// the result is deterministic at ANY worker count and bit-identical to ATA.
+// Chunk boundaries are area-balanced over the upper triangle (row p costs
+// n-p elements), depending only on (n, w).
+func ParATA(a *Dense) *Dense {
+	n := a.Cols
+	g := NewDense(n, n)
+	w := Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < 64 || a.Rows*n < parallelThreshold*parallelThreshold {
+		ataPanel(a, g, 0, n)
+		mirrorLower(g)
+		return g
+	}
+	bounds := ataChunkBounds(n, w)
+	var wg sync.WaitGroup
+	for c := 1; c < len(bounds)-1; c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		if !trySubmit(func() { ataPanel(a, g, lo, hi) }, &wg) {
+			ataPanel(a, g, lo, hi)
+			wg.Done()
+		}
+	}
+	ataPanel(a, g, bounds[0], bounds[1])
+	wg.Wait()
+	mirrorLower(g)
+	return g
+}
+
+// ataChunkBounds splits the rows of an n×n upper triangle into w contiguous
+// chunks of roughly equal element count (row p holds n-p elements): boundary
+// c sits where the triangle's area prefix reaches c/w. Deterministic in
+// (n, w).
+func ataChunkBounds(n, w int) []int {
+	bounds := make([]int, w+1)
+	for c := 1; c < w; c++ {
+		p := n - int(float64(n)*math.Sqrt(1-float64(c)/float64(w)))
+		if p < bounds[c-1] {
+			p = bounds[c-1]
+		}
+		if p > n {
+			p = n
+		}
+		bounds[c] = p
+	}
+	bounds[w] = n
+	return bounds
 }

@@ -1,0 +1,211 @@
+package mat
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"extdict/internal/rng"
+)
+
+// TestParallelChunksCoversExactlyOnce is the partition-arithmetic audit: for
+// every (n, w) in the grid, every index in [0, n) must be visited exactly
+// once, chunk ids must be distinct, and chunk sizes must be balanced (differ
+// by at most one).
+func TestParallelChunksCoversExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 1000} {
+		for _, w := range []int{1, 2, 3, 7, 8} {
+			visits := make([]int32, n)
+			var mu sync.Mutex
+			sizes := map[int]int{}
+			ParallelChunks(n, w, func(c, lo, hi int) {
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					visits[i]++
+				}
+				if _, dup := sizes[c]; dup {
+					t.Errorf("n=%d w=%d: chunk id %d ran twice", n, w, c)
+				}
+				sizes[c] = hi - lo
+				mu.Unlock()
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, v)
+				}
+			}
+			minSz, maxSz := math.MaxInt, 0
+			for _, s := range sizes {
+				minSz, maxSz = min(minSz, s), max(maxSz, s)
+			}
+			if n > 0 && maxSz-minSz > 1 {
+				t.Fatalf("n=%d w=%d: unbalanced chunks %v", n, w, sizes)
+			}
+		}
+	}
+}
+
+// TestParallelForCoversExactlyOnce audits the parallelFor partition under
+// pinned Workers across the same grid (the regression for the clamped-w /
+// short-final-chunk arithmetic).
+func TestParallelForCoversExactlyOnce(t *testing.T) {
+	defer func(w int) { Workers = w }(Workers)
+	for _, n := range []int{0, 1, 255, 256, 257, 1000} {
+		for _, w := range []int{1, 2, 3, 7, 8} {
+			Workers = w
+			visits := make([]int32, n)
+			var mu sync.Mutex
+			parallelFor(n, func(lo, hi int) {
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					visits[i]++
+				}
+				mu.Unlock()
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d Workers=%d: index %d visited %d times", n, w, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestParMulVecTMatchesSerial(t *testing.T) {
+	r := rng.New(11)
+	a := randomDense(r, 400, 37)
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	want := a.MulVecT(x, nil)
+
+	defer func(w int) { Workers = w }(Workers)
+
+	// Workers=1 takes the serial path: bit-exact.
+	Workers = 1
+	got := a.ParMulVecT(x, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Workers=1 not bit-exact at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// Workers>1 merges per-chunk partials: equal within reassociation noise,
+	// and bit-identical run-to-run at a pinned worker count.
+	for _, w := range []int{2, 3, 7} {
+		Workers = w
+		first := a.ParMulVecT(x, nil)
+		for i := range want {
+			if math.Abs(first[i]-want[i]) > 1e-12 {
+				t.Fatalf("Workers=%d differs from serial at %d: %v vs %v", w, i, first[i], want[i])
+			}
+		}
+		for rep := 0; rep < 5; rep++ {
+			again := a.ParMulVecT(x, nil)
+			for i := range first {
+				if again[i] != first[i] {
+					t.Fatalf("Workers=%d not deterministic at %d (rep %d)", w, i, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestParATAMatchesSerialBitExact(t *testing.T) {
+	r := rng.New(12)
+	a := randomDense(r, 300, 80)
+	want := ATA(a)
+
+	defer func(w int) { Workers = w }(Workers)
+	// Every G element is owned by one chunk and accumulated in the serial
+	// order, so ParATA is bit-identical to ATA at ANY worker count.
+	for _, w := range []int{1, 2, 3, 7, 8} {
+		Workers = w
+		got := ParATA(a)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("Workers=%d: ParATA not bit-exact at flat index %d", w, i)
+			}
+		}
+	}
+}
+
+func TestParMulVecBitExact(t *testing.T) {
+	r := rng.New(13)
+	a := randomDense(r, 333, 50)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	want := a.MulVec(x, nil)
+	defer func(w int) { Workers = w }(Workers)
+	for _, w := range []int{1, 2, 5} {
+		Workers = w
+		got := a.ParMulVec(x, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Workers=%d: ParMulVec not bit-exact at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestPoolBudgetNeverExceeded hammers every parallel kernel from many
+// concurrent callers and asserts the peak number of simultaneously executing
+// pool workers never exceeds the global budget — the no-oversubscription
+// guarantee when P ranks each call parallel kernels.
+func TestPoolBudgetNeverExceeded(t *testing.T) {
+	defer func(w int) { Workers = w }(Workers)
+	Workers = 8
+	r := rng.New(14)
+	a := randomDense(r, 512, 64)
+	x := make([]float64, 64)
+	xt := make([]float64, 512)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	for i := range xt {
+		xt[i] = r.NormFloat64()
+	}
+
+	ResetPoolPeak()
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				a.ParMulVec(x, nil)
+				a.ParMulVecT(xt, nil)
+				ParATA(a)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if peak, budget := PoolPeakWorkers(), PoolBudget(); peak > budget {
+		t.Fatalf("pool peak %d exceeds budget %d", peak, budget)
+	}
+}
+
+// TestParallelChunksNestedDoesNotDeadlock submits work whose body itself
+// calls parallel kernels; the non-blocking pool must degrade to inline
+// execution instead of deadlocking.
+func TestParallelChunksNestedDoesNotDeadlock(t *testing.T) {
+	defer func(w int) { Workers = w }(Workers)
+	Workers = 4
+	r := rng.New(15)
+	a := randomDense(r, 300, 30)
+	x := make([]float64, 30)
+	want := a.MulVec(x, nil)
+	ParallelChunks(16, 16, func(_, lo, hi int) {
+		got := a.ParMulVec(x, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("nested ParMulVec mismatch at %d", i)
+				return
+			}
+		}
+	})
+}

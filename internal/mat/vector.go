@@ -7,11 +7,7 @@ func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("mat: Dot length mismatch")
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
-	}
-	return s
+	return dotK(x, y)
 }
 
 // Norm2 returns the Euclidean norm of x.
@@ -54,14 +50,13 @@ func NormInf(x []float64) float64 {
 	return s
 }
 
-// Axpy computes y += alpha*x in place. Lengths must match.
+// Axpy computes y += alpha*x in place. Lengths must match. The unrolled
+// update is element-wise and therefore bit-identical to the scalar loop.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("mat: Axpy length mismatch")
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	axpyK(alpha, x, y)
 }
 
 // ScaleVec multiplies x by alpha in place.

@@ -43,7 +43,7 @@ type BatchCoder struct {
 func NewBatchCoder(d *mat.Dense) *BatchCoder {
 	bc := &BatchCoder{D: d}
 	if d.Cols <= gramPrecomputeLimit {
-		bc.g = mat.ATA(d)
+		bc.g = mat.ParATA(d)
 	} else {
 		bc.lazyRows = make([][]float64, d.Cols)
 	}
@@ -131,6 +131,15 @@ func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspa
 		return res
 	}
 	target2 := tol * tol * norm2a
+	// The ‖r‖² recurrence subtracts sums that the unrolled kernels
+	// accumulate in different orders (norm2a, α⁰, and the Gram diagonal
+	// reassociate differently), so it bottoms out at O(M·u)·‖a‖² instead of
+	// an exact 0. A tolerance below that rounding floor cannot be certified;
+	// clamp the stop threshold so the full-dictionary identity case (paper
+	// §VII: a_i = D·e_i ⇒ one unit atom) still terminates after one atom.
+	if floor := 8 * 0x1p-52 * float64(m) * norm2a; target2 < floor {
+		target2 = floor
+	}
 
 	// α⁰ = Dᵀa; α starts equal to α⁰ because r₀ = a.
 	d.MulVecT(a, ws.alpha0)
@@ -171,17 +180,16 @@ func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspa
 		ws.chol.SolveInPlace(ws.gamma)
 
 		// α = α⁰ - G[:, φ]·γ  (residual correlations without the residual;
-		// G is symmetric so the cached rows serve as columns).
+		// G is symmetric so the cached rows serve as columns). The unrolled
+		// axpy is element-wise, and -= gi*gj[t] ≡ += (-gi)*gj[t] in IEEE
+		// arithmetic, so this matches the scalar loop bit for bit.
 		copy(ws.alpha, ws.alpha0)
 		for i := range res.Idx {
 			gi := ws.gamma[i]
 			if gi == 0 {
 				continue
 			}
-			gj := ws.rows[i]
-			for t := 0; t < l; t++ {
-				ws.alpha[t] -= gi * gj[t]
-			}
+			mat.Axpy(-gi, ws.rows[i][:l], ws.alpha)
 		}
 
 		// ‖r‖² = ‖a‖² - γᵀ(α⁰)_φ.
@@ -196,9 +204,11 @@ func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspa
 }
 
 // EncodeColumns codes every column of a (M×N) in parallel across `workers`
-// goroutines and assembles the coefficient matrix C (L×N) such that
-// A ≈ D·C. It returns C and the total number of OMP iterations performed
-// (used by the preprocessing-overhead accounting).
+// chunks of the shared mat worker pool and assembles the coefficient matrix
+// C (L×N) such that A ≈ D·C. It returns C and the total number of OMP
+// iterations performed (used by the preprocessing-overhead accounting).
+// Columns are coded independently, so the result does not depend on the
+// worker count.
 func (bc *BatchCoder) EncodeColumns(a *mat.Dense, tol float64, maxAtoms, workers int) (*sparse.CSC, int) {
 	n := a.Cols
 	idx := make([][]int, n)
@@ -207,33 +217,16 @@ func (bc *BatchCoder) EncodeColumns(a *mat.Dense, tol float64, maxAtoms, workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > n {
-		workers = n
-	}
 
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+	mat.ParallelChunks(n, workers, func(_, lo, hi int) {
+		ws := &Workspace{}
+		col := make([]float64, a.Rows)
+		for j := lo; j < hi; j++ {
+			a.Col(j, col)
+			r := bc.Encode(col, tol, maxAtoms, ws)
+			idx[j], val[j], iters[j] = r.Idx, r.Coef, r.Iters
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			ws := &Workspace{}
-			col := make([]float64, a.Rows)
-			for j := lo; j < hi; j++ {
-				a.Col(j, col)
-				r := bc.Encode(col, tol, maxAtoms, ws)
-				idx[j], val[j], iters[j] = r.Idx, r.Coef, r.Iters
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 
 	total := 0
 	for _, it := range iters {

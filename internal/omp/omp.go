@@ -120,10 +120,3 @@ func Encode(d *mat.Dense, a []float64, tol float64, maxAtoms int) Result {
 	res.Iters = len(res.Idx)
 	return res
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

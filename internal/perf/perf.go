@@ -165,10 +165,3 @@ func RetryBackoff(base float64, attempt int) float64 {
 	}
 	return math.Ldexp(base, attempt)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -148,10 +148,10 @@ func Lasso(op dist.Operator, aty []float64, yNorm2 float64, opts LassoOpts) Lass
 		}
 		prevObj = obj
 
-		// Gradient of the smooth part: 2(Gx - Aᵀy).
-		for i := range grad {
-			grad[i] = 2 * (gx[i] - aty[i])
-		}
+		// Gradient of the smooth part: 2(Gx - Aᵀy), computed with the
+		// element-wise vector kernels (bit-identical to the scalar loop).
+		mat.SubVec(grad, gx, aty)
+		mat.ScaleVec(2, grad)
 		// Adagrad step + proximal soft threshold (composite Adagrad).
 		for i := range x {
 			accum[i] += grad[i] * grad[i]

@@ -71,7 +71,18 @@ func (m *CSC) MulVec(x, y []float64) []float64 {
 		if xj == 0 {
 			continue
 		}
-		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+		// 4-way unrolled scatter: updates stay in column order, so the
+		// result is bit-identical to the scalar loop.
+		p, hi := m.ColPtr[j], m.ColPtr[j+1]
+		for ; p+4 <= hi; p += 4 {
+			idx := m.RowIdx[p : p+4 : p+4]
+			v := m.Val[p : p+4 : p+4]
+			y[idx[0]] += v[0] * xj
+			y[idx[1]] += v[1] * xj
+			y[idx[2]] += v[2] * xj
+			y[idx[3]] += v[3] * xj
+		}
+		for ; p < hi; p++ {
 			y[m.RowIdx[p]] += m.Val[p] * xj
 		}
 	}
@@ -91,11 +102,22 @@ func (m *CSC) MulVecT(x, y []float64) []float64 {
 		panic("sparse: MulVecT output length mismatch")
 	}
 	for j := 0; j < m.Cols; j++ {
-		var s float64
-		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
-			s += m.Val[p] * x[m.RowIdx[p]]
+		// 4-accumulator gather dot: independent accumulators overlap the
+		// gather latency; reassociation changes last-ulp rounding only.
+		var s0, s1, s2, s3 float64
+		p, hi := m.ColPtr[j], m.ColPtr[j+1]
+		for ; p+4 <= hi; p += 4 {
+			idx := m.RowIdx[p : p+4 : p+4]
+			v := m.Val[p : p+4 : p+4]
+			s0 += v[0] * x[idx[0]]
+			s1 += v[1] * x[idx[1]]
+			s2 += v[2] * x[idx[2]]
+			s3 += v[3] * x[idx[3]]
 		}
-		y[j] = s
+		for ; p < hi; p++ {
+			s0 += m.Val[p] * x[m.RowIdx[p]]
+		}
+		y[j] = (s0 + s1) + (s2 + s3)
 	}
 	return y
 }

@@ -188,10 +188,3 @@ func leastSquaresC(d *mat.Dense, a *mat.Dense) (*sparse.CSC, error) {
 	}
 	return b.Build(), nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -67,4 +67,14 @@ fi
 echo "== go test -race (all internal packages)"
 go test -race -short -count=1 ./internal/...
 
+echo "== bench smoke (kernel benchmarks must run)"
+# One iteration of every kernel microbenchmark: catches benchmarks that
+# panic or no longer compile without paying the full measurement cost.
+go test -run '^$' -bench . -benchtime 1x -count=1 ./internal/mat/ ./internal/omp/ >/dev/null
+
+echo "== extdict-bench -json (report must be machine-readable)"
+# The JSON baseline pipeline behind BENCH_PR5.json: emit a tiny-scale report
+# and re-parse it with the Go decoder the tests use.
+go test -run TestJSONOutputParses -count=1 ./cmd/extdict-bench/ >/dev/null
+
 echo "CI gate passed."
