@@ -16,6 +16,28 @@ type kernelTiming struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	RefNsPerOp  float64 `json:"ref_ns_per_op"`
 	SpeedupVsGo float64 `json:"speedup_vs_scalar"`
+	// Intensity is the kernel's analytic arithmetic intensity (flops per
+	// byte) from the byte contracts in DESIGN.md ("Memory model"), at this
+	// benchmark's shape. Compare against the platform's machine balance
+	// (0.4 flop/byte) to read the timing: the BLAS-2 kernels sit below it
+	// (bandwidth-bound), the blocked ATA's panel re-streaming lifts it above.
+	Intensity float64 `json:"arith_intensity"`
+}
+
+// denseMulVecAI: 2·n² flops over 8·(n² + 2n) bytes for a square n×n
+// matrix-vector product (matrix once, both vector ends once).
+func denseMulVecAI(n int) float64 {
+	nf := float64(n)
+	return (2 * nf * nf) / (8 * (nf*nf + 2*nf))
+}
+
+// blockedATAAI: AᵀA at M×L costs M·L·(L+1) flops; the blocked kernel
+// re-streams A's rows once per 8-row panel of the output, so traffic is
+// 8·(M·L + ⌈M/8⌉·L·(L+1)) bytes.
+func blockedATAAI(m, l int) float64 {
+	flops := float64(m) * float64(l) * float64(l+1)
+	panels := float64((m + 7) / 8)
+	return flops / (8 * (float64(m)*float64(l) + panels*float64(l)*float64(l+1)))
 }
 
 // timeKernel runs fn reps times (after one warmup call) under the wall
@@ -99,17 +121,17 @@ func kernelBaselines(seed uint64) []kernelTiming {
 
 	out := []kernelTiming{
 		{
-			Name: "MulVec", N: 1024, Reps: 100,
+			Name: "MulVec", N: 1024, Reps: 100, Intensity: denseMulVecAI(1024),
 			NsPerOp:    timeKernel(100, func() { a1024.MulVec(x1024, y1024) }),
 			RefNsPerOp: timeKernel(100, func() { refMulVec(a1024, x1024, y1024) }),
 		},
 		{
-			Name: "MulVecT", N: 1024, Reps: 100,
+			Name: "MulVecT", N: 1024, Reps: 100, Intensity: denseMulVecAI(1024),
 			NsPerOp:    timeKernel(100, func() { a1024.MulVecT(x1024, y1024) }),
 			RefNsPerOp: timeKernel(100, func() { refMulVecT(a1024, x1024, y1024) }),
 		},
 		{
-			Name: "ATA", N: 256, Reps: 20,
+			Name: "ATA", N: 256, Reps: 20, Intensity: blockedATAAI(256, 256),
 			NsPerOp:    timeKernel(20, func() { mat.ATA(a256) }),
 			RefNsPerOp: timeKernel(20, func() { refATA(a256) }),
 		},

@@ -7,7 +7,7 @@
 //
 //	extdict-bench -exp fig7              # one experiment
 //	extdict-bench -exp all -scale 0.5    # everything, half-size datasets
-//	extdict-bench -json -exp fig4,fig7,tab2 -scale 0.5 > BENCH_PR5.json
+//	extdict-bench -json -exp fig4,fig7,tab2 -scale 0.5 > BENCH_PR6.json
 //
 // Experiments: fig4 fig5 fig6 tab2 fig7 tab3 fig8 fig9 fig10 fig11 fig12.
 package main

@@ -72,6 +72,14 @@ func TestJSONOutputParses(t *testing.T) {
 		if k.NsPerOp <= 0 || k.RefNsPerOp <= 0 {
 			t.Fatalf("kernel %s has non-positive timing: %+v", k.Name, k)
 		}
+		if k.Intensity <= 0 {
+			t.Fatalf("kernel %s carries no arithmetic intensity: %+v", k.Name, k)
+		}
+		// The roofline story the report encodes: BLAS-2 below the 0.4
+		// flop/byte machine balance, the blocked ATA above it.
+		if wantCompute := k.Name == "ATA"; (k.Intensity >= 0.4) != wantCompute {
+			t.Fatalf("kernel %s intensity %.4f on the wrong side of the machine balance", k.Name, k.Intensity)
+		}
 	}
 	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "tab2" {
 		t.Fatalf("experiments: %+v", rep.Experiments)

@@ -16,6 +16,17 @@ type Stats struct {
 	// MaxFlops is the largest per-rank count — the serial fraction that
 	// bounds compute time (load imbalance shows up here).
 	MaxFlops int64
+	// BytesPerRank is the exact kernel memory traffic each rank reported
+	// through AddBytes: the bytes its kernels streamed through the memory
+	// hierarchy, the denominator of the roofline's arithmetic intensity.
+	BytesPerRank []int64
+	// TotalBytes is the sum of BytesPerRank — the runtime ground truth the
+	// static memmodel analyzer's derived byte polynomials are checked
+	// against.
+	TotalBytes int64
+	// MaxBytes is the largest per-rank byte count (the bandwidth-bound
+	// analogue of MaxFlops).
+	MaxBytes int64
 	// PathWords counts words on the communication critical path: each
 	// collective contributes its vector length once (pipelined tree), the
 	// quantity the paper's min(M, L) bound refers to.
@@ -73,9 +84,20 @@ func (s *Stats) Accumulate(o Stats) {
 	for i, f := range o.FlopsPerRank {
 		s.FlopsPerRank[i] += f
 	}
+	if s.BytesPerRank == nil {
+		s.BytesPerRank = make([]int64, len(o.BytesPerRank))
+	}
+	if len(s.BytesPerRank) != len(o.BytesPerRank) {
+		panic("cluster: Accumulate rank-count mismatch")
+	}
+	for i, b := range o.BytesPerRank {
+		s.BytesPerRank[i] += b
+	}
 	s.TotalFlops += o.TotalFlops
+	s.TotalBytes += o.TotalBytes
 	// Sequential iterations: critical paths add.
 	s.MaxFlops += o.MaxFlops
+	s.MaxBytes += o.MaxBytes
 	s.PathWords += o.PathWords
 	s.TotalWords += o.TotalWords
 	s.Phases += o.Phases
@@ -110,9 +132,12 @@ type Comm struct {
 	dst     [][]float64 // broadcast: per-rank destinations
 	sum     []float64   // reduce: accumulation scratch, reused across phases
 
-	// sinceFlops[r] accumulates rank r's flops since the last phase close.
+	// sinceFlops[r] accumulates rank r's flops since the last phase close;
+	// sinceBytes[r] its kernel memory traffic, charged the same way.
 	sinceFlops []int64
 	totalFlops []int64
+	sinceBytes []int64
+	totalBytes []int64
 
 	pathWords  int64
 	totalWords int64
@@ -188,6 +213,8 @@ func NewComm(p Platform) *Comm {
 		dst:        make([][]float64, p.Topology.P()),
 		sinceFlops: make([]int64, p.Topology.P()),
 		totalFlops: make([]int64, p.Topology.P()),
+		sinceBytes: make([]int64, p.Topology.P()),
+		totalBytes: make([]int64, p.Topology.P()),
 		sinceDelay: make([]float64, p.Topology.P()),
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -249,7 +276,10 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 	// here if the run aborted between injection and the phase close).
 	var tail float64
 	for i, f := range c.sinceFlops {
-		if t := float64(f)/c.speeds[i]*c.platform.Cost.FlopTime + c.sinceDelay[i]; t > tail {
+		t := float64(f)/c.speeds[i]*c.platform.Cost.FlopTime +
+			float64(c.sinceBytes[i])/c.speeds[i]*c.platform.Cost.MemByteTime +
+			c.sinceDelay[i]
+		if t > tail {
 			tail = t
 		}
 	}
@@ -257,6 +287,7 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 
 	st := Stats{
 		FlopsPerRank:  append([]int64(nil), c.totalFlops...),
+		BytesPerRank:  append([]int64(nil), c.totalBytes...),
 		PathWords:     c.pathWords,
 		TotalWords:    c.totalWords,
 		Phases:        c.phases,
@@ -272,6 +303,12 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 		st.TotalFlops += f
 		if f > st.MaxFlops {
 			st.MaxFlops = f
+		}
+	}
+	for _, b := range c.totalBytes {
+		st.TotalBytes += b
+		if b > st.MaxBytes {
+			st.MaxBytes = b
 		}
 	}
 	st.ModeledEnergy = float64(st.TotalFlops)*c.platform.Cost.FlopEnergy +
@@ -290,6 +327,8 @@ func (c *Comm) reset() {
 	for i := range c.sinceFlops {
 		c.sinceFlops[i] = 0
 		c.totalFlops[i] = 0
+		c.sinceBytes[i] = 0
+		c.totalBytes[i] = 0
 		c.sinceDelay[i] = 0
 	}
 	c.pathWords, c.totalWords, c.phases = 0, 0, 0
@@ -322,18 +361,23 @@ func (c *Comm) abortLocked(v any) {
 // slowest rank's accumulated compute (scaled by its node's speed on
 // heterogeneous platforms) plus any injected virtual delay, the
 // critical-path word cost of the collective, and the reduction-tree
-// latency. Per-rank time is formed as (flops/speed)·FlopTime + delay, so an
-// injected slowdown competes for the critical path exactly like slow
-// compute; with no delays this is bit-identical to scaling the max by
-// FlopTime afterwards. It also advances the fault clock: the next
-// collective entered has the next injection index. Callers hold c.mu.
+// latency. Per-rank time is formed as (flops/speed)·FlopTime +
+// (bytes/speed)·MemByteTime + delay, so an injected slowdown competes for
+// the critical path exactly like slow compute; with no delays or byte
+// claims this is bit-identical to scaling the max by FlopTime afterwards.
+// It also advances the fault clock: the next collective entered has the
+// next injection index. Callers hold c.mu.
 func (c *Comm) closePhase(vecLen int) {
 	var maxT float64
 	for i, f := range c.sinceFlops {
-		if t := float64(f)/c.speeds[i]*c.platform.Cost.FlopTime + c.sinceDelay[i]; t > maxT {
+		t := float64(f)/c.speeds[i]*c.platform.Cost.FlopTime +
+			float64(c.sinceBytes[i])/c.speeds[i]*c.platform.Cost.MemByteTime +
+			c.sinceDelay[i]
+		if t > maxT {
 			maxT = t
 		}
 		c.sinceFlops[i] = 0
+		c.sinceBytes[i] = 0
 		c.sinceDelay[i] = 0
 	}
 	hops := 1.0
@@ -379,6 +423,20 @@ func (r *Rank) AddFlops(n int64) {
 	}
 	r.c.sinceFlops[r.ID] += n
 	r.c.totalFlops[r.ID] += n
+}
+
+// AddBytes reports n bytes of kernel memory traffic streamed by this rank
+// since its previous report — the bytes a kernel reads and writes through
+// the memory hierarchy, placed alongside the kernel's AddFlops claim. The
+// static memmodel analyzer proves every claim equal to the byte polynomial
+// it derives from the kernel's shape, and the counts feed both the phase
+// accounting (through CostModel.MemByteTime) and Stats.TotalBytes.
+func (r *Rank) AddBytes(n int64) {
+	if n < 0 {
+		panic("cluster: negative byte count")
+	}
+	r.c.sinceBytes[r.ID] += n
+	r.c.totalBytes[r.ID] += n
 }
 
 // collective is the shared rendezvous: stage runs under the lock when the

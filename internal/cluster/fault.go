@@ -341,6 +341,8 @@ func (c *Comm) Shrink(dead int) *Comm {
 		dst:        make([][]float64, p),
 		sinceFlops: make([]int64, p),
 		totalFlops: make([]int64, p),
+		sinceBytes: make([]int64, p),
+		totalBytes: make([]int64, p),
 		sinceDelay: make([]float64, p),
 		tracing:    c.tracing,
 	}

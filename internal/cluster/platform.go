@@ -94,8 +94,17 @@ func (p Platform) Heterogeneous() bool {
 // The defaults are calibrated to commodity-cluster ratios (≈1 GFLOP/s/core
 // effective dense throughput, ~10 GB/s intra-node and ~1 GB/s inter-node
 // links); only the *ratios* matter for every trend in the paper.
+//
+// MemByteTime prices the local memory traffic the kernels stream
+// (Rank.AddBytes claims): ~10 GB/s of core-visible bandwidth. PeakFlopTime
+// is the ALU-limited flop cost (≈4 GFLOP/s) a kernel would reach were it
+// never waiting on memory; it enters the model only through the roofline
+// classification (MachineBalance), never through the time accounting —
+// FlopTime remains the achieved, bandwidth-bound dense throughput.
 type CostModel struct {
 	FlopTime      float64 // seconds per floating point operation
+	MemByteTime   float64 // seconds per byte of kernel memory traffic
+	PeakFlopTime  float64 // seconds per flop at ALU peak (roofline ceiling)
 	IntraWordTime float64 // seconds per word on the critical path, same node
 	InterWordTime float64 // seconds per word on the critical path, cross node
 	IntraLatency  float64 // seconds per collective hop, same node
@@ -119,6 +128,8 @@ type CostModel struct {
 func DefaultCostModel() CostModel {
 	return CostModel{
 		FlopTime:      1e-9,
+		MemByteTime:   0.1e-9,
+		PeakFlopTime:  0.25e-9,
 		IntraWordTime: 0.8e-9,
 		InterWordTime: 8e-9,
 		IntraLatency:  0.3e-6,
@@ -189,3 +200,16 @@ func (p Platform) RbfTime() float64 { return p.WordTime() / p.Cost.FlopTime }
 
 // RbfEnergy returns the word-per-flop energy ratio R_bf^energy of Eq. 3.
 func (p Platform) RbfEnergy() float64 { return p.WordEnergy() / p.Cost.FlopEnergy }
+
+// MachineBalance returns the roofline ridge point in flops per byte: a
+// kernel whose arithmetic intensity (flops ÷ bytes streamed) exceeds this
+// ratio is compute-bound at ALU peak; below it the kernel is limited by
+// memory bandwidth. With the default model the ridge sits at 0.4 flop/byte,
+// so the 2-flop-per-8-byte dense kernels (intensity 0.25) land bandwidth-
+// bound — the regime the blocked kernel layer is designed for.
+func (p Platform) MachineBalance() float64 {
+	if p.Cost.PeakFlopTime == 0 {
+		return 0
+	}
+	return p.Cost.MemByteTime / p.Cost.PeakFlopTime
+}

@@ -118,9 +118,11 @@ func (g *DenseGram) Apply(x, y []float64) cluster.Stats {
 
 		// v_i = A_i·x_i  (2·M·n_i flops: multiply + add per entry). The
 		// pool-parallel kernel splits rows across idle cores; the flop count
-		// is the serial contract.
+		// is the serial contract. Memory traffic: the block streams once plus
+		// the input and output vectors, 8·(M·n_i + M + n_i) bytes.
 		v := blk.ParMulVec(x[lo:hi], g.scratch[r.ID])
 		r.AddFlops(2 * int64(g.m) * int64(hi-lo))
+		r.AddBytes(8 * (int64(g.m)*int64(hi-lo) + int64(g.m) + int64(hi-lo)))
 
 		// v = Σ v_i across ranks; everyone needs it for step 2.
 		r.Allreduce(v)
@@ -128,6 +130,7 @@ func (g *DenseGram) Apply(x, y []float64) cluster.Stats {
 		// y_i = A_iᵀ·v.
 		blk.ParMulVecT(v, y[lo:hi])
 		r.AddFlops(2 * int64(g.m) * int64(hi-lo))
+		r.AddBytes(8 * (int64(g.m)*int64(hi-lo) + int64(g.m) + int64(hi-lo)))
 	})
 }
 
@@ -222,9 +225,11 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 	lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
 	blk := g.blocks[r.ID]
 
-	// Step 1: v¹_i = C_i·x_i (sparse: 2·nnz_i flops).
+	// Step 1: v¹_i = C_i·x_i (sparse: 2·nnz_i flops; traffic is the CSC
+	// payload 16·nnz_i plus the dense vectors and column-pointer array).
 	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
 	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(2*int64(hi-lo)+int64(g.l)+1))
 
 	// Steps 3-4: reduce v¹ to rank 0 (L words on the path).
 	r.Reduce(v1, 0)
@@ -235,6 +240,7 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 		v2 := g.d.ParMulVec(v1, g.scratch[r.ID].vm)
 		g.d.ParMulVecT(v2, v3)
 		r.AddFlops(2 * 2 * int64(g.m) * int64(g.l))
+		r.AddBytes(2 * 8 * (int64(g.m)*int64(g.l) + int64(g.m) + int64(g.l)))
 	}
 
 	// Step 6: broadcast v³ (L words).
@@ -243,6 +249,7 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 	// Step 7: y_i = C_iᵀ·v³.
 	blk.MulVecT(v3, y[lo:hi])
 	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(int64(g.l)+2*int64(hi-lo)+1))
 }
 
 // applyCase2 is Algorithm 2, Case 2 (L > M): D replicated everywhere.
@@ -253,10 +260,12 @@ func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
 	// Step 1: v¹_i = C_i·x_i.
 	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
 	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(2*int64(hi-lo)+int64(g.l)+1))
 
 	// Step 3: v²_i = D·v¹_i locally (the replication saves words later).
 	v2 := g.d.ParMulVec(v1, g.scratch[r.ID].vm)
 	r.AddFlops(2 * int64(g.m) * int64(g.l))
+	r.AddBytes(8 * (int64(g.m)*int64(g.l) + int64(g.m) + int64(g.l)))
 
 	// Steps 4-6: v = Σ v²_i, everywhere (M words each way).
 	r.Allreduce(v2)
@@ -265,6 +274,8 @@ func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
 	// rank; that is the price Case 2 pays to keep communication at M.
 	w := g.d.ParMulVecT(v2, g.scratch[r.ID].vl2)
 	r.AddFlops(2 * int64(g.m) * int64(g.l))
+	r.AddBytes(8 * (int64(g.m)*int64(g.l) + int64(g.m) + int64(g.l)))
 	blk.MulVecT(w, y[lo:hi])
 	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(int64(g.l)+2*int64(hi-lo)+1))
 }

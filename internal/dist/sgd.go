@@ -74,6 +74,8 @@ func (g *BatchGram) Apply(x, y []float64) cluster.Stats {
 			v[bi] = mat.Dot(rowSlice, xi)
 		}
 		r.AddFlops(2 * int64(len(batch)) * int64(ni))
+		// Each Dot streams both operands once: 16·n_i bytes per batch row.
+		r.AddBytes(16 * int64(len(batch)) * int64(ni))
 
 		// Share the B-vector: SGD's entire communication.
 		r.Allreduce(v)
@@ -90,5 +92,8 @@ func (g *BatchGram) Apply(x, y []float64) cluster.Stats {
 		// paper's cost model, so the static upper bound is kept as the claim.
 		//lint:ignore costmodel Eq. 3 counts the 2·B·n_i multiply-adds; the per-batch scale multiply is O(B) bookkeeping the paper's model excludes
 		r.AddFlops(2 * int64(len(batch)) * int64(ni))
+		// Zero writes the n_i output once; each Axpy then streams the row,
+		// and reads + rewrites the output: 8·n_i + 24·B·n_i bytes.
+		r.AddBytes(8*int64(ni) + 24*int64(len(batch))*int64(ni))
 	})
 }

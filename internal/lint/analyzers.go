@@ -15,6 +15,7 @@ func All() []*Analyzer {
 		ExportedDoc,
 		Schedule,
 		CostModel,
+		MemModel,
 	}
 }
 

@@ -53,10 +53,26 @@ func TestCostModelKernelContractsFixture(t *testing.T) {
 	runFixtureExpectNone(t, CostModel, fixturePath("costmodel", "kernels.go"), "extdict/internal/experiments")
 }
 
+func TestMemModelFixture(t *testing.T) {
+	runFixture(t, MemModel, fixturePath("memmodel", "fixture.go"), "extdict/internal/dist")
+	// Outside dist/solver the accounting is not audited.
+	runFixtureExpectNone(t, MemModel, fixturePath("memmodel", "fixture.go"), "extdict/internal/experiments")
+}
+
+func TestMemModelKernelContractsFixture(t *testing.T) {
+	runFixture(t, MemModel, fixturePath("memmodel", "kernels.go"), "extdict/internal/dist")
+	runFixtureExpectNone(t, MemModel, fixturePath("memmodel", "kernels.go"), "extdict/internal/experiments")
+}
+
 func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc, fixturePath("hotalloc", "bad.go"), "extdict/internal/solver")
-	// Outside dist/solver the check does not apply.
+	// Outside dist/solver/omp the check does not apply.
 	runFixtureExpectNone(t, HotAlloc, fixturePath("hotalloc", "bad.go"), "extdict/internal/experiments")
+}
+
+func TestHotAllocOmpFixture(t *testing.T) {
+	runFixture(t, HotAlloc, fixturePath("hotalloc", "omp.go"), "extdict/internal/omp")
+	runFixtureExpectNone(t, HotAlloc, fixturePath("hotalloc", "omp.go"), "extdict/internal/experiments")
 }
 
 func TestErrCheckFixture(t *testing.T) {

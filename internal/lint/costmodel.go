@@ -107,10 +107,12 @@ func deriveCosts(pkg *Package) []funcCost {
 			opType = ""
 		}
 		cw := &costWalk{
-			st:     newSymState(pkg, shapes),
-			shapes: shapes,
-			opType: opType,
+			st:        newSymState(pkg, shapes),
+			shapes:    shapes,
+			opType:    opType,
+			claimName: "AddFlops",
 		}
+		cw.stmtCost = cw.stmtFlops
 		cw.st.envFixpoint(body)
 		terms := cw.region(body.List, "")
 		out = append(out, funcCost{fn: name, terms: terms, subst: shapes.substFor(opType)})
@@ -118,16 +120,22 @@ func deriveCosts(pkg *Package) []funcCost {
 	return out
 }
 
-// costWalk derives symbolic flop expressions over one rank body.
+// costWalk derives symbolic accounting expressions over one rank body. The
+// region machinery is shared between the costmodel and memmodel analyzers:
+// claimName is the Rank method that closes an accounted region ("AddFlops"
+// or "AddBytes") and stmtCost derives the per-statement quantity that
+// method's claims must account for (flops or bytes).
 type costWalk struct {
-	st     *symState
-	shapes *shapeTable
-	opType string
+	st        *symState
+	shapes    *shapeTable
+	opType    string
+	claimName string
+	stmtCost  func(ast.Stmt) symExpr
 }
 
-// region scans a statement list in source order, accumulating derived flops
-// and closing a term at each AddFlops call. An if-statement containing its
-// own AddFlops becomes a nested guarded region; one without folds into the
+// region scans a statement list in source order, accumulating the derived
+// quantity and closing a term at each claim call. An if-statement containing
+// its own claim becomes a nested guarded region; one without folds into the
 // parent's accumulator.
 func (c *costWalk) region(stmts []ast.Stmt, guard string) []costTerm {
 	var terms []costTerm
@@ -137,36 +145,36 @@ func (c *costWalk) region(stmts []ast.Stmt, guard string) []costTerm {
 		acc = symConst(0)
 	}
 	for _, s := range stmts {
-		if call, ok := addFlopsCall(c.st, s); ok {
+		if call, ok := rankCallStmt(c.st, s, c.claimName); ok {
 			flush(c.st.symVal(call.Args[0]), call.Pos())
 			continue
 		}
 		switch s := s.(type) {
 		case *ast.IfStmt:
-			if containsAddFlops(c.st, s.Body) {
+			if containsRankCall(c.st, s.Body, c.claimName) {
 				terms = append(terms, c.region(s.Body.List, conjoin(guard, types.ExprString(s.Cond)))...)
 				if s.Else != nil {
-					if blk, ok := s.Else.(*ast.BlockStmt); ok && containsAddFlops(c.st, blk) {
+					if blk, ok := s.Else.(*ast.BlockStmt); ok && containsRankCall(c.st, blk, c.claimName) {
 						terms = append(terms, c.region(blk.List, conjoin(guard, "!("+types.ExprString(s.Cond)+")"))...)
 						continue
 					}
-					acc = symAdd{acc, c.stmtFlops(s.Else)}
+					acc = symAdd{acc, c.stmtCost(s.Else)}
 				}
 				continue
 			}
-			acc = symAdd{acc, c.stmtFlops(s)}
+			acc = symAdd{acc, c.stmtCost(s)}
 		case *ast.ForStmt:
-			if containsAddFlops(c.st, s.Body) {
+			if containsRankCall(c.st, s.Body, c.claimName) {
 				terms = append(terms, costTerm{guard: guard, pos: s.Pos(), unsupported: true})
 				continue
 			}
-			acc = symAdd{acc, c.stmtFlops(s)}
+			acc = symAdd{acc, c.stmtCost(s)}
 		case *ast.RangeStmt:
-			if containsAddFlops(c.st, s.Body) {
+			if containsRankCall(c.st, s.Body, c.claimName) {
 				terms = append(terms, costTerm{guard: guard, pos: s.Pos(), unsupported: true})
 				continue
 			}
-			acc = symAdd{acc, c.stmtFlops(s)}
+			acc = symAdd{acc, c.stmtCost(s)}
 		case *ast.BlockStmt:
 			// A bare block continues the region.
 			sub := c.region(s.List, guard)
@@ -178,11 +186,11 @@ func (c *costWalk) region(stmts []ast.Stmt, guard string) []costTerm {
 				}
 			}
 		default:
-			acc = symAdd{acc, c.stmtFlops(s)}
+			acc = symAdd{acc, c.stmtCost(s)}
 		}
 	}
 	if p, ok := normalize(acc, nil); !ok || len(p) != 0 {
-		// Leftover work (or unresolvable work) after the last AddFlops.
+		// Leftover work (or unresolvable work) after the last claim.
 		pos := token.NoPos
 		if len(stmts) > 0 {
 			pos = stmts[len(stmts)-1].Pos()
@@ -192,8 +200,8 @@ func (c *costWalk) region(stmts []ast.Stmt, guard string) []costTerm {
 	return terms
 }
 
-// addFlopsCall matches the statement form r.AddFlops(expr).
-func addFlopsCall(st *symState, s ast.Stmt) (*ast.CallExpr, bool) {
+// rankCallStmt matches the statement form r.<name>(expr).
+func rankCallStmt(st *symState, s ast.Stmt, name string) (*ast.CallExpr, bool) {
 	es, ok := s.(*ast.ExprStmt)
 	if !ok {
 		return nil, false
@@ -202,21 +210,21 @@ func addFlopsCall(st *symState, s ast.Stmt) (*ast.CallExpr, bool) {
 	if !ok || len(call.Args) != 1 {
 		return nil, false
 	}
-	if st.rankMethodName(call) != "AddFlops" {
+	if st.rankMethodName(call) != name {
 		return nil, false
 	}
 	return call, true
 }
 
-// containsAddFlops reports whether the block calls r.AddFlops anywhere
+// containsRankCall reports whether the block calls r.<name> anywhere
 // outside nested function literals.
-func containsAddFlops(st *symState, block *ast.BlockStmt) bool {
+func containsRankCall(st *symState, block *ast.BlockStmt, name string) bool {
 	found := false
 	ast.Inspect(block, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
 		}
-		if call, ok := n.(*ast.CallExpr); ok && st.rankMethodName(call) == "AddFlops" {
+		if call, ok := n.(*ast.CallExpr); ok && st.rankMethodName(call) == name {
 			found = true
 		}
 		return !found

@@ -13,23 +13,33 @@ var nilDstKernels = map[string]bool{
 }
 
 // hotCallNames mark a loop body as per-iteration hot: applying an operator,
-// reporting flops, or running a collective all mean the loop is the
+// reporting flops or bytes, or running a collective all mean the loop is the
 // algorithm's inner iteration, where the paper's cost model assumes
 // allocation-free steady state.
 var hotCallNames = map[string]bool{
-	"Apply": true, "AddFlops": true,
+	"Apply": true, "AddFlops": true, "AddBytes": true,
 	"Allreduce": true, "Reduce": true, "Broadcast": true, "Barrier": true,
 }
 
+// ompHotCallNames mark internal/omp's hot loops: the Batch-OMP selection
+// loop calls the coder and the level-1 kernels once per atom, and the
+// column-coding driver calls Encode once per signal. There are no ranks or
+// collectives in omp, so the batch kernels themselves are the signal.
+var ompHotCallNames = map[string]bool{
+	"Encode": true, "gramRow": true, "Axpy": true, "Dot": true,
+}
+
 // HotAlloc flags per-iteration allocation in the hot regions of
-// internal/dist and internal/solver. A hot region is either
+// internal/dist, internal/solver, and internal/omp. A hot region is either
 //
 //   - the body of a function taking a *cluster.Rank (it runs once per rank
 //     per operator application — the innermost distributed step), or
 //   - the body of a for/range loop that directly contains a hot call
-//     (.Apply, .AddFlops, or a collective) — "directly" meaning not through
-//     a nested loop's body, so an outer driver loop whose iteration work
-//     happens only inside inner loops is setup, not hot.
+//     (.Apply, .AddFlops, .AddBytes, or a collective in dist/solver; the
+//     batch-coding kernels .Encode, .gramRow, .Axpy, .Dot in omp) —
+//     "directly" meaning not through a nested loop's body, so an outer
+//     driver loop whose iteration work happens only inside inner loops is
+//     setup, not hot.
 //
 // Inside a hot region it reports make/new, append, kernel calls with a nil
 // destination (they allocate their result), and — when type information is
@@ -42,15 +52,20 @@ var HotAlloc = &Analyzer{
 	Name:      "hotalloc",
 	SkipTests: true,
 	Doc: "forbid per-iteration allocation (make/new/append, nil-destination " +
-		"kernels, interface boxing) in internal/dist and internal/solver hot " +
-		"regions; hoist buffers into setup or struct scratch fields",
+		"kernels, interface boxing) in internal/dist, internal/solver, and " +
+		"internal/omp hot regions; hoist buffers into setup or struct scratch fields",
 	Run: func(p *Pass) {
-		if !inAnyPkg(p.Pkg.ImportPath, "extdict/internal/dist", "extdict/internal/solver") {
+		hot := hotCallNames
+		switch {
+		case inAnyPkg(p.Pkg.ImportPath, "extdict/internal/dist", "extdict/internal/solver"):
+		case inAnyPkg(p.Pkg.ImportPath, "extdict/internal/omp"):
+			hot = ompHotCallNames
+		default:
 			return
 		}
 		p.EachFile(func(f *ast.File) {
 			clusterName, _ := ImportName(f, "extdict/internal/cluster")
-			h := &hotScan{p: p, info: p.Pkg.TypesInfo, clusterName: clusterName}
+			h := &hotScan{p: p, info: p.Pkg.TypesInfo, clusterName: clusterName, hot: hot}
 			for _, decl := range f.Decls {
 				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
 					h.walkFunc(fd.Type, fd.Body)
@@ -64,6 +79,7 @@ type hotScan struct {
 	p           *Pass
 	info        *types.Info
 	clusterName string
+	hot         map[string]bool // calls that mark a loop body as hot
 }
 
 // walkFunc classifies one function: a rank function is hot in its entirety;
@@ -108,7 +124,7 @@ func (h *hotScan) directlyHot(body *ast.BlockStmt) bool {
 			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
 				return false
 			case *ast.CallExpr:
-				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && hotCallNames[sel.Sel.Name] {
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && h.hot[sel.Sel.Name] {
 					hot = true
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"path/filepath"
+	"strings"
 )
 
 // Minimal SARIF 2.1.0 document shapes — only the fields CI viewers
@@ -31,6 +32,55 @@ type sarifDriver struct {
 type sarifRule struct {
 	ID               string       `json:"id"`
 	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+	HelpURI          string       `json:"helpUri"`
+}
+
+// designHeadings maps each analyzer to its DESIGN.md section heading. The
+// rule's helpUri is the GitHub anchor of that heading, so a SARIF viewer
+// jumps straight to the invariant's rationale. TestSARIFHelpAnchors pins
+// every entry against the actual document, so a renamed section (or a new
+// analyzer without one) breaks loudly.
+var designHeadings = map[string]string{
+	"norand":      "`norand` — randomness determinism",
+	"noclock":     "`noclock` — wall-clock confinement",
+	"goroutines":  "`goroutines` — concurrency ownership",
+	"flopaudit":   "`flopaudit` — exact flop accounting",
+	"collective":  "`collective` — static SPMD symmetry",
+	"schedule":    "`schedule` — static collective traces vs the runtime",
+	"costmodel":   "`costmodel` — static cost-model conformance (Eqs. 2–4)",
+	"memmodel":    "`memmodel` — static memory-model conformance",
+	"hotalloc":    "`hotalloc` — allocation-free hot paths",
+	"errcheck":    "`errcheck` — no discarded errors",
+	"panicmsg":    "`panicmsg` — crash attribution",
+	"nofloateq":   "`nofloateq` — tolerance discipline",
+	"exporteddoc": "`exporteddoc` — documented internal API surface",
+}
+
+// designHelpURI resolves an analyzer name to its DESIGN.md anchor; analyzers
+// without a pinned heading link to the document head.
+func designHelpURI(name string) string {
+	h, ok := designHeadings[name]
+	if !ok {
+		return "DESIGN.md"
+	}
+	return "DESIGN.md#" + githubSlug(h)
+}
+
+// githubSlug renders a heading the way GitHub's anchor generator does:
+// lowercased, spaces to hyphens, everything else but letters, digits, and
+// hyphens dropped (backticks, em-dashes, parentheses, periods).
+func githubSlug(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r == ' ':
+			b.WriteRune('-')
+		case r == '-' || ('a' <= r && r <= 'z') || ('0' <= r && r <= '9'):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 type sarifMessage struct {
@@ -68,7 +118,16 @@ type sarifRegion struct {
 func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, findings []Finding) error {
 	rules := make([]sarifRule, 0, len(analyzers))
 	for _, a := range analyzers {
-		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		short := a.Doc
+		if i := strings.Index(short, ";"); i >= 0 {
+			short = short[:i] // the invariant alone; the fix hint stays in fullDescription
+		}
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: short},
+			FullDescription:  sarifMessage{Text: a.Doc},
+			HelpURI:          designHelpURI(a.Name),
+		})
 	}
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {

@@ -53,6 +53,17 @@ func rankBody(r *cluster.Rank, a op, x []float64) {
 	r.Allreduce(v)
 }
 
+// byteLoop is hot because it reports bytes per iteration: the memory
+// accounting marks the algorithm's inner step exactly as AddFlops does.
+// (No rank parameter, so the AddBytes call alone is what makes it hot.)
+func byteLoop(acct interface{ AddBytes(int64) }, x []float64, iters int) {
+	for it := 0; it < iters; it++ {
+		acct.AddBytes(int64(len(x)))
+		tmp := make([]float64, len(x)) // want "make allocates on every iteration"
+		_ = tmp
+	}
+}
+
 // boxing cases: pointers, constants, interface pass-through, and spread
 // arguments do not allocate.
 func boxingEdges(a op, x []float64, iv interface{}, vs []interface{}) {

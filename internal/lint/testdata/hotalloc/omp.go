@@ -1,0 +1,47 @@
+// Package fixture (omp.go) exercises hotalloc's omp mode: run as
+// extdict/internal/omp. There are no ranks or collectives in omp, so the
+// batch-coding kernels (Encode, gramRow, Axpy, Dot) mark a loop as hot;
+// the same file under any other package yields nothing.
+package fixture
+
+type coder struct{}
+
+func (coder) Encode(a []float64) int     { return len(a) }
+func (coder) gramRow(j int) []float64    { return nil }
+func (coder) Dot(x, y []float64) float64 { return 0 }
+func (coder) Apply(x, y []float64)       {} // hot in dist/solver, not here
+func consume(x []float64)                {}
+func produce(n int) []float64            { return make([]float64, n) }
+
+// codeAll's loop calls the coder per signal, so its body is hot.
+func codeAll(c coder, sigs [][]float64) {
+	buf := make([]float64, 8) // setup: before the loop, never flagged
+	for _, s := range sigs {
+		tmp := make([]float64, len(s)) // want "make allocates on every iteration"
+		_ = tmp
+		_ = c.Encode(s)
+	}
+	consume(buf)
+}
+
+// selection mirrors the Batch-OMP atom loop: a Gram-row fetch plus a dot
+// per atom makes the loop hot, and the growing support must be indexed
+// into a preallocated buffer, not appended.
+func selection(c coder, l int) {
+	var idx []int
+	for j := 0; j < l; j++ {
+		row := c.gramRow(j)
+		_ = c.Dot(row, row)
+		idx = append(idx, j) // want "append may reallocate on every iteration"
+	}
+	_ = idx
+}
+
+// applyOnly is quiet here: Apply is a dist/solver hot call, not an omp one,
+// so this loop is not a batch-coding hot region.
+func applyOnly(c coder, sigs [][]float64) {
+	for _, s := range sigs {
+		tmp := make([]float64, len(s))
+		c.Apply(s, tmp)
+	}
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises memmodel: run as extdict/internal/dist. Each
+// rank body's AddBytes claims are checked against the byte-traffic
+// expression derived from the preceding kernel calls; mismatched claims,
+// uncovered kernels, unsupported in-loop accounting, and underived loop
+// bounds are all flagged, while an exact claim stays quiet. Pure scalar
+// work streams nothing, so flop-only regions need no byte claim.
+package fixture
+
+import (
+	"extdict/internal/cluster"
+	"extdict/internal/mat"
+)
+
+// covered: one dot product streams both operands once and the claim says
+// exactly that — no finding.
+func covered(r *cluster.Rank, x, y []float64) {
+	_ = mat.Dot(x, y)
+	r.AddBytes(16 * int64(len(x)))
+}
+
+// undercount: the axpy streams 24·len(x) bytes but the claim prices a dot.
+func undercount(r *cluster.Rank, a float64, x, y []float64) {
+	mat.Axpy(a, x, y)
+	r.AddBytes(16 * int64(len(x))) // want "AddBytes claims"
+}
+
+// inLoop: accounting inside the loop cannot be folded into a static
+// per-region expression.
+func inLoop(r *cluster.Rank, x []float64) {
+	for range x { // want "AddBytes inside a loop"
+		mat.Zero(x)
+		r.AddBytes(8)
+	}
+}
+
+// uncovered: kernel traffic with no AddBytes at all — the memory model
+// misses this kernel entirely.
+func uncovered(r *cluster.Rank, x, y []float64) {
+	_ = mat.Dot(x, y) // want "not covered by any AddBytes"
+}
+
+// floatOnly: scalar float work streams no kernel bytes, so a flop claim
+// alone is complete — no finding.
+func floatOnly(r *cluster.Rank, x []float64) {
+	for i := range x {
+		x[i] *= 2
+	}
+	r.AddFlops(2 * int64(len(x)))
+}
+
+func mystery() int { return 3 }
+
+// opaqueTrip: the loop bound is a call the analyzer cannot resolve, so the
+// derived traffic is unknown and the claim cannot be checked.
+func opaqueTrip(r *cluster.Rank, x []float64, n int) {
+	for i := 0; i < mystery(); i++ {
+		mat.Zero(x)
+	}
+	r.AddBytes(int64(n)) // want "cannot derive a symbolic byte count"
+}
+
+// guarded: asymmetric accounting under a rank guard is checked as its own
+// region; an exact claim inside the guard stays quiet, a wrong one fires.
+func guarded(r *cluster.Rank, x, y []float64) {
+	_ = mat.Dot(x, y)
+	r.AddBytes(16 * int64(len(x)))
+	if r.ID == 0 {
+		mat.Zero(y)
+		r.AddBytes(16 * int64(len(y))) // want "AddBytes claims"
+	}
+}
+
+// batched mirrors BatchGram.Apply's shape: per-row dots over a column
+// window, derived as len(rows)·16·(hi-lo) through the slice-length
+// substitution, then a zero + per-row axpy pass — both claimed exactly.
+func batched(r *cluster.Rank, rows [][]float64, x, v, y []float64, lo, hi int) {
+	xi := x[lo:hi]
+	for bi, row := range rows {
+		rowSlice := row[lo:hi]
+		v[bi] = mat.Dot(rowSlice, xi)
+	}
+	r.AddBytes(16 * int64(len(rows)) * int64(hi-lo))
+
+	yi := y[lo:hi]
+	mat.Zero(yi)
+	for bi := range rows {
+		mat.Axpy(v[bi], rows[bi][lo:hi], yi)
+	}
+	r.AddBytes(8*int64(hi-lo) + 24*int64(len(rows))*int64(hi-lo))
+}

@@ -1,0 +1,70 @@
+// Package fixture (kernels.go) exercises the byte-contract half of
+// memmodel: dense kernels stream the matrix plus one rows-length and one
+// cols-length vector pass (8·(rows·cols + rows + cols)), CSC kernels the
+// nnz payload with 8-byte indices plus the column-pointer array and the
+// vector ends, and the pool-parallel forms carry the same contracts as
+// their serial ones — chunking partitions the streams without changing
+// their total length. Run as extdict/internal/dist.
+package fixture
+
+import (
+	"extdict/internal/cluster"
+	"extdict/internal/mat"
+	"extdict/internal/sparse"
+)
+
+// poolOp stands in for a distributed operator holding a dense block whose
+// dimensions the constructor binds (d: m×l).
+type poolOp struct {
+	d    *mat.Dense
+	m, l int
+}
+
+func newPoolOp(d *mat.Dense) *poolOp {
+	g := &poolOp{d: d, m: d.Rows, l: d.Cols}
+	return g
+}
+
+// apply prices the pool-parallel round trip exactly as the serial one:
+// each direction streams the matrix and both vector ends — quiet.
+func (g *poolOp) apply(r *cluster.Rank, x, v, y []float64) {
+	g.d.ParMulVec(x, v)
+	g.d.ParMulVecT(v, y)
+	r.AddBytes(2 * 8 * (int64(g.m)*int64(g.l) + int64(g.m) + int64(g.l)))
+}
+
+// applyOver claims the round trip but runs only half of it.
+func (g *poolOp) applyOver(r *cluster.Rank, x, v []float64) {
+	g.d.ParMulVec(x, v)
+	r.AddBytes(2 * 8 * (int64(g.m)*int64(g.l) + int64(g.m) + int64(g.l))) // want "AddBytes claims"
+}
+
+// sparseOp stands in for a transformed operator: per-rank CSC column
+// blocks with the precomputed nnz alias (nnz[] ≡ NNZ(blocks[])).
+type sparseOp struct {
+	blocks []*sparse.CSC
+	nnz    []int64
+	l      int
+}
+
+func newSparseOp(c *sparse.CSC, p, l int) *sparseOp {
+	g := &sparseOp{blocks: make([]*sparse.CSC, p), nnz: make([]int64, p), l: l}
+	for i := 0; i < p; i++ {
+		g.blocks[i] = c.ColSliceRange(0, 4)
+		g.nnz[i] = int64(g.blocks[i].NNZ())
+	}
+	return g
+}
+
+// applySparse streams the CSC payload (16·nnz), the column pointers, two
+// passes over the cols-side window and one over the L-vector — quiet for
+// the forward product, flagged when the transpose claim doubles the
+// rows-side vector instead of the cols-side one.
+func (g *sparseOp) applySparse(r *cluster.Rank, x, y []float64, lo, hi int) {
+	v := make([]float64, g.l)
+	g.blocks[r.ID].MulVec(x[lo:hi], v)
+	r.AddBytes(16*g.nnz[r.ID] + 8*(2*int64(hi-lo)+int64(g.l)+1))
+
+	g.blocks[r.ID].MulVecT(v, y[lo:hi])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(int64(hi-lo)+2*int64(g.l)+1)) // want "AddBytes claims"
+}

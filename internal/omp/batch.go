@@ -83,6 +83,7 @@ type Workspace struct {
 	alpha    []float64 // Dᵀr, updated per iteration
 	gammaRHS []float64 // (Dᵀa)_φ in selection order
 	gamma    []float64 // current coefficients
+	cross    []float64 // Gram cross-correlations of the newest atom
 	selected []bool
 	rows     [][]float64 // Gram rows of the selected atoms, selection order
 	chol     *mat.Cholesky
@@ -100,7 +101,16 @@ func (w *Workspace) reset(l, maxAtoms int) {
 	for i := range w.selected {
 		w.selected[i] = false
 	}
+	// The per-atom buffers are capped by the support size; sizing them here
+	// keeps the selection loop allocation-free (hotalloc).
+	if cap(w.gammaRHS) < maxAtoms {
+		w.gammaRHS = make([]float64, 0, maxAtoms)
+		w.gamma = make([]float64, 0, maxAtoms)
+		w.cross = make([]float64, maxAtoms)
+		w.rows = make([][]float64, 0, maxAtoms)
+	}
 	w.gammaRHS = w.gammaRHS[:0]
+	w.gamma = w.gamma[:0]
 	w.rows = w.rows[:0]
 	if w.chol == nil {
 		w.chol = mat.NewCholesky(maxAtoms)
@@ -144,6 +154,7 @@ func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspa
 	// α⁰ = Dᵀa; α starts equal to α⁰ because r₀ = a.
 	d.MulVecT(a, ws.alpha0)
 	copy(ws.alpha, ws.alpha0)
+	res.Idx = make([]int, 0, maxAtoms)
 
 	res.Resid2 = norm2a
 	for len(res.Idx) < maxAtoms && res.Resid2 > target2 {
@@ -163,7 +174,8 @@ func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspa
 
 		// Grow the Cholesky factor of G_φφ using only Gram entries.
 		gRow := bc.gramRow(best)
-		cross := make([]float64, len(res.Idx))
+		k := len(res.Idx)
+		cross := ws.cross[:k]
 		for i, jj := range res.Idx {
 			cross[i] = gRow[jj]
 		}
@@ -171,12 +183,16 @@ func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspa
 			break
 		}
 		ws.selected[best] = true
-		res.Idx = append(res.Idx, best)
-		ws.rows = append(ws.rows, gRow)
-		ws.gammaRHS = append(ws.gammaRHS, ws.alpha0[best])
+		res.Idx = res.Idx[:k+1]
+		res.Idx[k] = best
+		ws.rows = ws.rows[:k+1]
+		ws.rows[k] = gRow
+		ws.gammaRHS = ws.gammaRHS[:k+1]
+		ws.gammaRHS[k] = ws.alpha0[best]
 
 		// γ = (G_φφ)⁻¹ (α⁰)_φ.
-		ws.gamma = append(ws.gamma[:0], ws.gammaRHS...)
+		ws.gamma = ws.gamma[:k+1]
+		copy(ws.gamma, ws.gammaRHS)
 		ws.chol.SolveInPlace(ws.gamma)
 
 		// α = α⁰ - G[:, φ]·γ  (residual correlations without the residual;

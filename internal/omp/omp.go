@@ -64,14 +64,18 @@ func Encode(d *mat.Dense, a []float64, tol float64, maxAtoms int) Result {
 	selected := make(map[int]bool, maxAtoms)
 	// Cross-correlations of selected atoms with all atoms are needed to
 	// grow the Cholesky factor; recompute per step (reference code favors
-	// clarity; BatchCoder is the fast path).
+	// clarity; BatchCoder is the fast path). All buffers are sized here so
+	// the selection loop itself stays allocation-free.
 	atomCol := make([]float64, m)
+	corr := make([]float64, l)
+	crossBuf := make([]float64, maxAtoms)
 	rhs := make([]float64, 0, maxAtoms)
+	res.Idx = make([]int, 0, maxAtoms)
 
 	res.Resid2 = norm2a
 	for len(res.Idx) < maxAtoms && res.Resid2 > target2 {
 		// Step 3.1: k = argmax_j |d_j · r| over unselected atoms.
-		corr := d.MulVecT(r, nil)
+		d.MulVecT(r, corr)
 		best, bestAbs := -1, 0.0
 		for j := 0; j < l; j++ {
 			if selected[j] {
@@ -87,7 +91,8 @@ func Encode(d *mat.Dense, a []float64, tol float64, maxAtoms int) Result {
 
 		// Grow the Cholesky factor of D_φᵀD_φ with the new atom.
 		d.Col(best, atomCol)
-		cross := make([]float64, len(res.Idx))
+		k := len(res.Idx)
+		cross := crossBuf[:k]
 		for i, jj := range res.Idx {
 			var s float64
 			for row := 0; row < m; row++ {
@@ -100,8 +105,10 @@ func Encode(d *mat.Dense, a []float64, tol float64, maxAtoms int) Result {
 			break // numerically dependent atom: cannot improve
 		}
 		selected[best] = true
-		res.Idx = append(res.Idx, best)
-		rhs = append(rhs, mat.Dot(atomCol, a))
+		res.Idx = res.Idx[:k+1]
+		res.Idx[k] = best
+		rhs = rhs[:k+1]
+		rhs[k] = mat.Dot(atomCol, a)
 
 		// Step 3.3: y = D_φ⁺ a via the normal equations.
 		res.Coef = mat.CopyVec(rhs)

@@ -46,13 +46,20 @@ type Estimate struct {
 	FlopsCritical float64
 	// FlopsTotal is the total flops across ranks (drives energy).
 	FlopsTotal float64
+	// BytesCritical is the kernel memory traffic on the slowest rank's
+	// path, mirroring the AddBytes claims the simulator counts: the byte
+	// polynomials of the same kernels whose flops FlopsCritical prices.
+	BytesCritical float64
+	// BytesTotal is the total kernel memory traffic across ranks.
+	BytesTotal float64
 	// PathWords is the communicated words on the critical path:
 	// 2·min(M, L) per iteration, the paper's optimal bound.
 	PathWords float64
 	// TotalWords counts every word moved by every rank.
 	TotalWords float64
-	// Time is the Eq. 2 prediction in seconds (critical-path flops, words,
-	// and collective latency under the platform cost model).
+	// Time is the Eq. 2 prediction in seconds (critical-path flops, bytes
+	// streamed, words, and collective latency under the platform cost
+	// model).
 	Time float64
 	// EnergyJ is the Eq. 3 prediction in joules.
 	EnergyJ float64
@@ -112,8 +119,23 @@ func PredictTransformed(m, n, l, nnz int, plat cluster.Platform) Estimate {
 	}
 	e.FlopsTotal = 4*float64(nnz) + dictTotal
 
+	// Bytes mirror the AddBytes claims: the two sparse products stream the
+	// CSC payload (16·nnz_i each), the N/P-length ends twice each, the
+	// L-vector and the column pointers; the two dictionary products stream
+	// D plus an L- and an M-vector each — on the critical path in both
+	// cases (rank 0 serially in Case 1, redundantly in Case 2).
+	sparseBytes := 32*float64(nnz)/p + 32*float64(n)/p + 16*float64(l) + 16
+	dictBytes := 16 * (float64(m)*float64(l) + float64(m) + float64(l))
+	e.BytesCritical = sparseBytes + dictBytes
+	dictBytesTotal := dictBytes
+	if l > m {
+		dictBytesTotal *= p
+	}
+	e.BytesTotal = 32*float64(nnz) + 32*float64(n) + (16*float64(l)+16)*p + dictBytesTotal
+
 	c := plat.Cost
-	e.Time = e.FlopsCritical*c.FlopTime + e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
+	e.Time = e.FlopsCritical*c.FlopTime + e.BytesCritical*c.MemByteTime +
+		e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
 	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
 	e.MemoryWordsPerRank = float64(m)*float64(l) + float64(nnz)/p + float64(n)/p
 	return e
@@ -130,8 +152,13 @@ func PredictDense(m, n int, plat cluster.Platform) Estimate {
 		PathWords:     2 * float64(m),
 		TotalWords:    2 * float64(m) * (p - 1),
 	}
+	// Two dense products per iteration, each streaming the M×N/P block plus
+	// its M- and N/P-length vector ends (the AddBytes contract).
+	e.BytesCritical = 16 * (float64(m)*float64(n)/p + float64(m) + float64(n)/p)
+	e.BytesTotal = 16 * (float64(m)*float64(n) + float64(m)*p + float64(n))
 	c := plat.Cost
-	e.Time = e.FlopsCritical*c.FlopTime + e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
+	e.Time = e.FlopsCritical*c.FlopTime + e.BytesCritical*c.MemByteTime +
+		e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
 	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
 	e.MemoryWordsPerRank = float64(m) * float64(n) / p
 	return e
@@ -147,8 +174,13 @@ func PredictSGD(n, batch int, plat cluster.Platform) Estimate {
 		PathWords:     2 * float64(batch),
 		TotalWords:    2 * float64(batch) * (p - 1),
 	}
+	// b dot products (16·n_i each), one Zero (8·n_i), and b axpys (24·n_i
+	// each) per rank — the BatchGram AddBytes claims.
+	e.BytesCritical = 40*float64(batch)*float64(n)/p + 8*float64(n)/p
+	e.BytesTotal = 40*float64(batch)*float64(n) + 8*float64(n)
 	c := plat.Cost
-	e.Time = e.FlopsCritical*c.FlopTime + e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
+	e.Time = e.FlopsCritical*c.FlopTime + e.BytesCritical*c.MemByteTime +
+		e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
 	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
 	return e
 }

@@ -42,6 +42,13 @@ fi
 echo "== extdict-lint"
 go run ./cmd/extdict-lint -sarif extdict-lint.sarif ./...
 
+echo "== extdict-lint -checks memmodel (tree must be memory-model clean)"
+# The roofline report divides proven flop polynomials by proven byte
+# polynomials; an unproven AddBytes claim would poison the denominators.
+# The full run above already covers memmodel, but this assert keeps the
+# guarantee explicit even if someone narrows the run above.
+go run ./cmd/extdict-lint -checks memmodel ./...
+
 echo "== extdict-lint -trace (static schedule must match the golden)"
 # The schedule analyzer's static collective traces are a reviewed artifact:
 # any drift in an operator's reduce/broadcast schedule must be deliberate.
@@ -49,6 +56,17 @@ go run ./cmd/extdict-lint -checks schedule -trace "$tmpdir/trace.json" ./...
 if ! diff -u internal/lint/testdata/schedule.golden.json "$tmpdir/trace.json"; then
     echo "extdict-lint: static collective schedule drifted; if intended, regenerate with" >&2
     echo "  go run ./cmd/extdict-lint -checks schedule -trace internal/lint/testdata/schedule.golden.json ./..." >&2
+    exit 1
+fi
+
+echo "== extdict-lint -roofline (static roofline must match the golden)"
+# The roofline report — per-kernel arithmetic intensity and compute-vs-
+# bandwidth classification — is a reviewed artifact like the schedule: a
+# changed kernel contract or platform balance must be deliberate.
+go run ./cmd/extdict-lint -checks memmodel -roofline "$tmpdir/roofline.json" ./...
+if ! diff -u internal/lint/testdata/roofline.golden.json "$tmpdir/roofline.json"; then
+    echo "extdict-lint: static roofline drifted; if intended, regenerate with" >&2
+    echo "  go run ./cmd/extdict-lint -checks memmodel -roofline internal/lint/testdata/roofline.golden.json ./..." >&2
     exit 1
 fi
 
