@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extdict/internal/cluster/clustertest"
+	"extdict/internal/solver"
+)
+
+// TestChaosReplayDigest pins a SHA-256 digest of every seed's faulted
+// solve — solution bits, recovery record, and every Stats counter except
+// wall time — against a committed golden. The CI determinism matrix runs
+// this test at GOMAXPROCS=1, 2, and NumCPU: all three compare to the same
+// golden, so the 24-seed replay is proven bit-identical across serial,
+// dual, and fully parallel scheduling, not merely stable within one
+// process. Regenerate after a deliberate numeric change with
+//
+//	UPDATE_CHAOS_DIGEST=1 go test -run TestChaosReplayDigest ./internal/cluster/chaos/
+func TestChaosReplayDigest(t *testing.T) {
+	h := sha256.New()
+	lassoCfg := DefaultConfig()
+	powerCfg := DefaultConfig()
+	powerCfg.Horizon = 40 // power solves converge in ~50 phases
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		var lres solver.LassoResult
+		var pres solver.PowerResult
+		var lrec, prec solver.Recovery
+		var lerr, perr error
+		clustertest.Watchdog(t, func() {
+			lres, lrec, lerr = NewLassoScenario(seed, lassoCfg).Faulted()
+			pres, prec, perr = NewPowerScenario(seed, powerCfg).Faulted()
+		})
+		if lerr != nil || perr != nil {
+			t.Fatalf("seed %d: supervised solve failed: %v / %v", seed, lerr, perr)
+		}
+		lres.Stats.Wall, pres.Stats.Wall = 0, 0
+		fmt.Fprintf(h, "lasso %d %+v %+v\n", seed, lres, lrec)
+		// Eigenvectors is a nested pointer: hash the matrix it points at,
+		// not the address fmt would print for the field.
+		fmt.Fprintf(h, "power %d eigvecs %+v\n", seed, *pres.Eigenvectors)
+		pres.Eigenvectors = nil
+		fmt.Fprintf(h, "power %d %+v %+v\n", seed, pres, prec)
+	}
+	got := hex.EncodeToString(h.Sum(nil))
+
+	golden := filepath.Join("testdata", "replay.digest")
+	if os.Getenv("UPDATE_CHAOS_DIGEST") != "" {
+		if err := os.WriteFile(golden, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("no golden digest (%v); record one with UPDATE_CHAOS_DIGEST=1", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Fatalf("chaos replay digest drifted:\n  got  %s\n  want %s\n"+
+			"a numeric or schedule change altered the replayed results; if deliberate, regenerate with UPDATE_CHAOS_DIGEST=1",
+			got, strings.TrimSpace(string(want)))
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTraceStatsPublicationUnderFaults closes the gap between what the
+// sharedstate analyzer proves statically and what the race detector
+// observes dynamically, for the two Comm publication patterns the analyzer
+// accepts:
+//
+//   - EnableTrace is a pre-launch freeze: c.tracing is written before any
+//     rank goroutine of the next Run launches and never during one. The
+//     test arms it through sync.OnceFunc — the idiomatic once-published
+//     form — between Runs of a fault-armed communicator.
+//   - Stats is a channel hand-off: each Run's returned Stats (including
+//     its Trace slice) is transferred to a consumer goroutine that folds
+//     it concurrently with the next Run. If Run retained or kept mutating
+//     any slice it returns, -race would flag the consumer's reads.
+//
+// The armed FaultPlan keeps the rank goroutines' schedules adversarial:
+// injected slowdowns and corruption reorder rendezvous arrivals while the
+// publications happen.
+func TestTraceStatsPublicationUnderFaults(t *testing.T) {
+	cfg := FaultConfig{
+		P: 4, Horizon: 8,
+		Slowdowns: 3, Corruptions: 2,
+		MaxDelay: 0.25, MaxDelta: 0.1, MaxWord: 8,
+	}
+	c := NewComm(NewPlatform(1, 4))
+	c.InstallFaultPlan(RandomFaultPlan(42, cfg))
+	arm := sync.OnceFunc(c.EnableTrace)
+
+	results := make(chan Stats, 1)
+	var consumed sync.WaitGroup
+	consumed.Add(1)
+	var total Stats
+	go func() {
+		defer consumed.Done()
+		for st := range results {
+			total.Accumulate(st)
+		}
+	}()
+
+	watchdog(t, func() {
+		for it := 0; it < 3; it++ {
+			arm() // published exactly once, before any rank launches
+			results <- c.Run(allreduceBody(2, 8))
+		}
+	})
+	close(results)
+	consumed.Wait()
+
+	if len(total.Trace) == 0 {
+		t.Fatal("tracing was armed but no phase trace came back")
+	}
+	// Same plan and workload as TestFaultReplayBitIdenticalStats: the
+	// schedule must actually have fired while the publications happened.
+	if total.InjectedDelay == 0 {
+		t.Fatal("schedule injected no delay; test exercises nothing")
+	}
+	if total.CorruptWords == 0 {
+		t.Fatal("schedule corrupted no words; test exercises nothing")
+	}
+}

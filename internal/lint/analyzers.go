@@ -16,6 +16,9 @@ func All() []*Analyzer {
 		Schedule,
 		CostModel,
 		MemModel,
+		SharedState,
+		LockOrder,
+		DetOrder,
 	}
 }
 

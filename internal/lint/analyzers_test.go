@@ -96,3 +96,19 @@ func TestExportedDocFixture(t *testing.T) {
 func TestSuppressionFixture(t *testing.T) {
 	runFixture(t, NoFloatEq, fixturePath("directive", "fixture.go"), "extdict/internal/solver")
 }
+
+func TestSharedStateFixture(t *testing.T) {
+	runFixture(t, SharedState, fixturePath("sharedstate", "fixture.go"), "extdict/internal/mat")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, LockOrder, fixturePath("lockorder", "fixture.go"), "extdict/internal/mat")
+}
+
+func TestDetOrderFixture(t *testing.T) {
+	runFixture(t, DetOrder, fixturePath("detorder", "fixture.go"), "extdict/internal/mat/fixture")
+	// Outside the result-affecting packages the same file is not audited,
+	// and the clustertest scaffolding is excluded by name.
+	runFixtureExpectNone(t, DetOrder, fixturePath("detorder", "fixture.go"), "extdict/internal/solver")
+	runFixtureExpectNone(t, DetOrder, fixturePath("detorder", "fixture.go"), "extdict/internal/cluster/clustertest")
+}

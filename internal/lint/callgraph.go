@@ -220,6 +220,11 @@ type Program struct {
 	pkgs      []*Package
 	graph     *callGraph
 	summaries map[string]*summary
+
+	// lockEdges memoizes the whole-module lock-order graph (conc.go); the
+	// lint engine runs analyzers sequentially, so a plain flag suffices.
+	lockEdges      []lockEdge
+	lockEdgesBuilt bool
 }
 
 // NewProgram builds the call graph and function summaries for the given

@@ -1,0 +1,859 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared machinery behind the three concurrency analyzers
+// (sharedstate, lockorder, detorder): canonical lock identities, a
+// branch-sensitive lockset walker, the escape analysis that decides which
+// function literals run on another goroutine (directly via `go` or
+// indirectly through the internal/mat worker pool), and the determinism
+// taint seeds. The interprocedural halves — which locks a function
+// transitively acquires, which of its func-typed parameters escape to a
+// goroutine, whether it transitively reaches a clock read or a global
+// math/rand draw — live in the summary lattice (summary.go) and are
+// computed by concSummarize inside the same whole-program fixpoint the
+// collective analyzers use.
+
+// maxSummaryLocks bounds a summary's transitive lock set so the fixpoint
+// lattice stays finite; no type in this module declares more than two locks.
+const maxSummaryLocks = 16
+
+// lockMethods classifies the sync.Mutex/RWMutex methods by their effect on
+// the holder's lockset. TryLock acquires only conditionally, so the linear
+// walker treats a TryLock like a Lock (over-approximation: the guarded
+// branch is where the lock matters).
+var lockMethods = map[string]int{
+	"Lock": +1, "RLock": +1, "TryLock": +1, "TryRLock": +1,
+	"Unlock": -1, "RUnlock": -1,
+}
+
+// lockCall recognizes a sync.Mutex/sync.RWMutex (un)lock call and returns
+// the canonical id of the mutex plus the lockset delta (+1 acquire,
+// -1 release). Embedded mutexes resolve through the used method object, so
+// `c.Lock()` on a struct embedding sync.Mutex is seen too.
+func lockCall(pkg *Package, fn string, call *ast.CallExpr) (id string, delta int, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK || pkg.TypesInfo == nil {
+		return "", 0, false
+	}
+	d, named := lockMethods[sel.Sel.Name]
+	if !named {
+		return "", 0, false
+	}
+	m, mOK := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !mOK || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", 0, false
+	}
+	t := recv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", 0, false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", 0, false
+	}
+	return lockExprID(pkg, fn, sel.X), d, true
+}
+
+// lockExprID canonicalizes a mutex-valued expression to a stable id:
+// "pkg.(Type).field" for a struct field (instances of one type share an id —
+// the type-level abstraction standard for static lock-order analysis),
+// "pkg.var" for a package-level mutex, and "funcID$name" for a
+// function-local one. Expressions the canonicalizer cannot resolve render
+// as their syntax, scoped to the function, so distinct unknown mutexes do
+// not alias each other across functions.
+func lockExprID(pkg *Package, fn string, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pkg.TypesInfo.ObjectOf(x)
+		if obj == nil {
+			return fn + "$" + x.Name
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + x.Name
+		}
+		return fn + "$" + x.Name
+	case *ast.SelectorExpr:
+		if t := pkg.TypesInfo.TypeOf(x.X); t != nil {
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if n, isNamed := t.(*types.Named); isNamed && n.Obj().Pkg() != nil {
+				return fmt.Sprintf("%s.(%s).%s", n.Obj().Pkg().Path(), n.Obj().Name(), x.Sel.Name)
+			}
+		}
+		return fn + "$" + renderExpr(x)
+	case *ast.StarExpr:
+		return lockExprID(pkg, fn, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lockExprID(pkg, fn, x.X)
+		}
+	}
+	return fn + "$" + renderExpr(e)
+}
+
+// renderExpr flat-prints a small expression for lock-id fallbacks.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return renderExpr(x.X) + "[]"
+	case *ast.StarExpr:
+		return "*" + renderExpr(x.X)
+	case *ast.CallExpr:
+		return renderExpr(x.Fun) + "()"
+	}
+	return "?"
+}
+
+// lockDisplay trims module and package prefixes from a lock id for
+// human-readable findings: "extdict/internal/cluster.(Comm).mu" → "(Comm).mu",
+// "extdict/internal/lint.F$mu" → "F$mu".
+func lockDisplay(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		id = id[i+1:]
+	}
+	if i := strings.Index(id, "."); i >= 0 && !strings.HasPrefix(id[i+1:], "(") {
+		// "pkg.var" keeps the package for context only when it is short.
+		return id[i+1:]
+	}
+	if i := strings.Index(id, ".("); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// lockEdge is one order observation: to was acquired while from was held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee display name when the acquisition is indirect
+}
+
+// heldExit is one function-exit point (return or fall-off-the-end) with
+// locks still held after deferred unlocks are applied.
+type heldExit struct {
+	pos   token.Pos
+	locks []string
+}
+
+// lockFlow walks one function body with a branch-sensitive lockset and
+// reports the observations the concurrency analyzers consume.
+type lockFlow struct {
+	pkg     *Package
+	fn      string // enclosing funcID, scopes local lock names
+	resolve func(*ast.CallExpr) (*funcNode, *summary)
+
+	deferred map[string]bool // unlocks registered via defer
+	edges    []lockEdge
+	exits    []heldExit
+	loopBad  []heldExit // lock/unlock imbalance across one loop iteration
+
+	// on, when set, observes every expression with the lockset held at its
+	// evaluation. sharedstate uses it to learn the guard of each access.
+	on func(e ast.Expr, held map[string]bool)
+}
+
+func newLockFlow(pkg *Package, fn string, resolve func(*ast.CallExpr) (*funcNode, *summary)) *lockFlow {
+	return &lockFlow{pkg: pkg, fn: fn, resolve: resolve, deferred: make(map[string]bool)}
+}
+
+// walk runs the flow over a body starting from an empty lockset and records
+// the fall-off-the-end exit.
+func (lf *lockFlow) walk(body *ast.BlockStmt) {
+	held := make(map[string]bool)
+	terminated := lf.stmts(body.List, held)
+	if !terminated {
+		lf.exit(body.End(), held)
+	}
+}
+
+// exit records an exit point if locks survive the deferred unlocks.
+func (lf *lockFlow) exit(pos token.Pos, held map[string]bool) {
+	var rest []string
+	for id := range held {
+		if !lf.deferred[id] {
+			rest = append(rest, id)
+		}
+	}
+	if len(rest) > 0 {
+		sort.Strings(rest)
+		lf.exits = append(lf.exits, heldExit{pos: pos, locks: rest})
+	}
+}
+
+// stmts walks a statement list, mutating held; reports whether the list
+// definitely terminates (return / panic-like) before falling through.
+func (lf *lockFlow) stmts(list []ast.Stmt, held map[string]bool) bool {
+	for _, st := range list {
+		if lf.stmt(st, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedHeld(held map[string]bool) []string {
+	out := make([]string, 0, len(held))
+	for id := range held {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stmt walks one statement; returns true when control definitely leaves the
+// enclosing function (return) or the current path (panic).
+func (lf *lockFlow) stmt(st ast.Stmt, held map[string]bool) bool {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		lf.expr(st.X, held)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && isBuiltinObj(lf.pkg.TypesInfo.Uses[id]) {
+				return true // deferred unlocks run during the unwind
+			}
+		}
+	case *ast.DeferStmt:
+		lf.exprChildren(st.Call, held)
+		if id, delta, ok := lockCall(lf.pkg, lf.fn, st.Call); ok && delta < 0 {
+			lf.deferred[id] = true
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			lf.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			lf.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			lf.expr(e, held)
+		}
+		lf.exit(st.Pos(), held)
+		return true
+	case *ast.BlockStmt:
+		return lf.stmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			lf.stmt(st.Init, held)
+		}
+		lf.expr(st.Cond, held)
+		thenHeld := copyHeld(held)
+		thenTerm := lf.stmt(st.Body, thenHeld)
+		elseHeld := copyHeld(held)
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = lf.stmt(st.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceHeld(held, elseHeld)
+		case elseTerm:
+			replaceHeld(held, thenHeld)
+		default:
+			// Join by intersection: a lock held on only one surviving branch
+			// is not reliably held afterwards.
+			joinHeld(held, thenHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			lf.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			lf.expr(st.Cond, held)
+		}
+		before := sortedHeld(held)
+		bodyHeld := copyHeld(held)
+		lf.stmt(st.Body, bodyHeld)
+		if st.Post != nil {
+			lf.stmt(st.Post, bodyHeld)
+		}
+		if after := sortedHeld(bodyHeld); !equalStrings(before, after) {
+			lf.loopBad = append(lf.loopBad, heldExit{pos: st.Pos(), locks: diffStrings(before, after)})
+		}
+	case *ast.RangeStmt:
+		lf.expr(st.X, held)
+		before := sortedHeld(held)
+		bodyHeld := copyHeld(held)
+		lf.stmt(st.Body, bodyHeld)
+		if after := sortedHeld(bodyHeld); !equalStrings(before, after) {
+			lf.loopBad = append(lf.loopBad, heldExit{pos: st.Pos(), locks: diffStrings(before, after)})
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			lf.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			lf.expr(st.Tag, held)
+		}
+		lf.caseClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		lf.caseClauses(st.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			caseHeld := copyHeld(held)
+			if cc.Comm != nil {
+				lf.stmt(cc.Comm, caseHeld)
+			}
+			lf.stmts(cc.Body, caseHeld)
+		}
+	case *ast.GoStmt:
+		lf.exprChildren(st.Call, held)
+	case *ast.SendStmt:
+		lf.expr(st.Chan, held)
+		lf.expr(st.Value, held)
+	case *ast.IncDecStmt:
+		lf.expr(st.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lf.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return lf.stmt(st.Stmt, held)
+	case *ast.BranchStmt:
+		// break/continue/goto: fall out of the linear walk; the loop
+		// imbalance check covers the interesting lock effects.
+	}
+	return false
+}
+
+// caseClauses walks each case with its own lockset copy (cases are
+// alternatives, not a sequence).
+func (lf *lockFlow) caseClauses(body *ast.BlockStmt, held map[string]bool) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			lf.expr(e, held)
+		}
+		caseHeld := copyHeld(held)
+		lf.stmts(cc.Body, caseHeld)
+	}
+}
+
+func replaceHeld(dst, src map[string]bool) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// joinHeld intersects two branch locksets into dst.
+func joinHeld(dst, a, b map[string]bool) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k := range a {
+		if b[k] {
+			dst[k] = true
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffStrings returns the symmetric difference of two sorted sets.
+func diffStrings(a, b []string) []string {
+	in := make(map[string]int)
+	for _, s := range a {
+		in[s]++
+	}
+	for _, s := range b {
+		in[s]--
+	}
+	var out []string
+	for s, n := range in {
+		if n != 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expr walks an expression: applies lock/unlock effects of calls in
+// evaluation order, records lock-order edges (direct and through callee
+// summaries), and feeds every node to the observer. Function literals are
+// not descended into — they execute later, on their own lockset.
+func (lf *lockFlow) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	if lf.on != nil {
+		lf.on(e, held)
+	}
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		return
+	case *ast.CallExpr:
+		lf.exprChildren(x, held)
+		lf.applyCall(x, held)
+		return
+	case *ast.BinaryExpr:
+		lf.expr(x.X, held)
+		lf.expr(x.Y, held)
+		return
+	case *ast.UnaryExpr:
+		lf.expr(x.X, held)
+		return
+	case *ast.ParenExpr:
+		lf.expr(x.X, held)
+		return
+	case *ast.IndexExpr:
+		lf.expr(x.X, held)
+		lf.expr(x.Index, held)
+		return
+	case *ast.SliceExpr:
+		lf.expr(x.X, held)
+		lf.expr(x.Low, held)
+		lf.expr(x.High, held)
+		lf.expr(x.Max, held)
+		return
+	case *ast.StarExpr:
+		lf.expr(x.X, held)
+		return
+	case *ast.SelectorExpr:
+		lf.expr(x.X, held)
+		return
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			lf.expr(el, held)
+		}
+		return
+	case *ast.KeyValueExpr:
+		lf.expr(x.Value, held)
+		return
+	}
+}
+
+// exprChildren walks a call's fun/args without applying the call itself.
+func (lf *lockFlow) exprChildren(call *ast.CallExpr, held map[string]bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		lf.expr(sel.X, held)
+	}
+	for _, a := range call.Args {
+		lf.expr(a, held)
+	}
+}
+
+// applyCall folds one call's lock effects into held and records order edges.
+func (lf *lockFlow) applyCall(call *ast.CallExpr, held map[string]bool) {
+	if id, delta, ok := lockCall(lf.pkg, lf.fn, call); ok {
+		if delta > 0 {
+			for from := range held {
+				if from != id {
+					lf.edges = append(lf.edges, lockEdge{from: from, to: id, pos: call.Pos()})
+				}
+			}
+			held[id] = true
+		} else {
+			delete(held, id)
+		}
+		return
+	}
+	if lf.resolve == nil {
+		return
+	}
+	callee, sum := lf.resolve(call)
+	if sum == nil {
+		return
+	}
+	if len(held) > 0 {
+		for _, to := range sum.locks {
+			for from := range held {
+				if from != to {
+					lf.edges = append(lf.edges, lockEdge{from: from, to: to, pos: call.Pos(), via: callee.name})
+				}
+			}
+		}
+	}
+	for _, id := range sum.netLocks {
+		held[id] = true
+	}
+}
+
+// --- escape analysis ------------------------------------------------------
+
+// concSummarize fills the concurrency fields of a function summary: the
+// transitive lock set, the locks still held at return (lock helpers), the
+// func-typed parameters that escape to another goroutine (directly via a
+// `go` statement, or indirectly — stored into a composite literal or sent
+// on a channel like the mat pool's job structs, or passed on to a callee
+// parameter that itself escapes), and the determinism taint (a transitive
+// reach to a clock read or a math/rand draw).
+func concSummarize(cg *callGraph, sums map[string]*summary, n *funcNode, out *summary) {
+	resolve := func(call *ast.CallExpr) (*funcNode, *summary) {
+		callee := cg.calleeOf(n.pkg, call)
+		if callee == nil {
+			return nil, nil
+		}
+		return callee, sums[callee.id]
+	}
+
+	// Lock set and net effect.
+	lf := newLockFlow(n.pkg, n.id, resolve)
+	lf.walk(n.decl.Body)
+	lockSet := make(map[string]bool)
+	ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, delta, ok := lockCall(n.pkg, n.id, call); ok && delta > 0 {
+			lockSet[id] = true
+		}
+		if _, sum := resolve(call); sum != nil {
+			for _, id := range sum.locks {
+				lockSet[id] = true
+			}
+		}
+		return true
+	})
+	out.locks = capSorted(lockSet, maxSummaryLocks)
+	netSet := make(map[string]bool)
+	for _, ex := range lf.exits {
+		for _, id := range ex.locks {
+			netSet[id] = true
+		}
+	}
+	out.netLocks = capSorted(netSet, maxSummaryLocks)
+
+	// Parameter escape bits.
+	paramBit := make(map[types.Object]uint64)
+	for i, obj := range n.params {
+		if obj == nil || i >= 64 {
+			continue
+		}
+		if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+			paramBit[obj] = 1 << i
+		}
+	}
+	if len(paramBit) > 0 {
+		esc := newEscapeWalk(n.pkg, resolve, paramBit)
+		esc.walk(n.decl.Body)
+		out.escParams = esc.escaped
+	}
+
+	// Determinism taint.
+	out.detVia = detSeed(n)
+	if out.detVia == "" {
+		ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+			if out.detVia != "" {
+				return false
+			}
+			if call, ok := x.(*ast.CallExpr); ok {
+				if callee, sum := resolve(call); sum != nil && sum.detVia != "" {
+					out.detVia = sum.detVia + " (reached inside " + callee.name + ")"
+					// Keep the chain description bounded.
+					if len(out.detVia) > 160 {
+						out.detVia = out.detVia[:160]
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wallSinkExempt is the one function whose direct clock reads do not seed
+// determinism taint: cluster.(Comm).Run reads the wall clock solely to
+// stamp the observational Stats.Wall field — the measurement never feeds
+// back into any computed value, which TestDetOrderWallSinkExemption and the
+// noclock analyzer's package allowlist both pin. Every other clock read or
+// global math/rand draw in the module taints its callers transitively.
+const wallSinkExempt = "extdict/internal/cluster.(Comm).Run"
+
+// detSeed reports the direct determinism-taint seed of a function body:
+// a use of time.Now/Since/Until or of any math/rand function. Returns ""
+// when the body is clean.
+func detSeed(n *funcNode) string {
+	if n.pkg.TypesInfo == nil || n.id == wallSinkExempt {
+		return ""
+	}
+	info := n.pkg.TypesInfo
+	seed := ""
+	ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+		if seed != "" {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if isClockObj(obj) {
+			seed = "time." + obj.Name()
+			return false
+		}
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				seed = "rand." + fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return seed
+}
+
+// capSorted renders a set as a sorted, capped slice.
+func capSorted(set map[string]bool, cap int) []string {
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	if len(out) > cap {
+		out = out[:cap]
+	}
+	return out
+}
+
+// escapeWalk marks func-typed parameters that escape to another goroutine.
+type escapeWalk struct {
+	pkg      *Package
+	resolve  func(*ast.CallExpr) (*funcNode, *summary)
+	paramBit map[types.Object]uint64
+	escaped  uint64
+}
+
+func newEscapeWalk(pkg *Package, resolve func(*ast.CallExpr) (*funcNode, *summary), paramBit map[types.Object]uint64) *escapeWalk {
+	return &escapeWalk{pkg: pkg, resolve: resolve, paramBit: paramBit}
+}
+
+func (w *escapeWalk) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch st := x.(type) {
+		case *ast.GoStmt:
+			// Everything referenced by the launched call escapes.
+			w.markAll(st.Call)
+			return false
+		case *ast.SendStmt:
+			w.markAll(st.Value)
+		case *ast.CompositeLit:
+			// A func value stored into a composite literal is assumed to
+			// escape (the pool's job struct travels over a channel).
+			for _, el := range st.Elts {
+				w.markAll(el)
+			}
+		case *ast.CallExpr:
+			w.callSite(st)
+		case *ast.AssignStmt:
+			// Assignment to a field or index publishes the value.
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					w.markAll(st.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// callSite marks arguments passed to callee parameters that escape there.
+func (w *escapeWalk) callSite(call *ast.CallExpr) {
+	callee, sum := w.resolve(call)
+	if sum == nil || sum.escParams == 0 {
+		return
+	}
+	args := callArgs(w.pkg, call, callee)
+	for j, arg := range args {
+		if j >= 64 || sum.escParams&(1<<j) == 0 {
+			continue
+		}
+		w.markAll(arg)
+	}
+}
+
+// markAll marks every tracked parameter referenced inside e (including
+// captures of a func literal) as escaped.
+func (w *escapeWalk) markAll(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := w.pkg.TypesInfo.Uses[id]; obj != nil {
+			if bit, tracked := w.paramBit[obj]; tracked {
+				w.escaped |= bit
+			}
+		}
+		return true
+	})
+}
+
+// --- goroutine launch sites ----------------------------------------------
+
+// launchSite is one function literal that runs on another goroutine: the
+// literal, the position of the launch, and whether the launching call is
+// synchronous (a pool sink that only returns after the submitted work
+// completed — everything after the call is ordered after the work).
+type launchSite struct {
+	lit  *ast.FuncLit
+	pos  token.Pos
+	kind string // "go" or "pool"
+}
+
+// launchSites collects the goroutine-carrying function literals of one
+// declared function: literals launched by a `go` statement and literals
+// passed to a call argument whose callee parameter escapes to a goroutine
+// (the mat pool's trySubmit/ParallelChunks chain, or any fixture-local
+// equivalent — the escape bits come from the summary fixpoint, so new
+// submission helpers are picked up without a hard-coded list).
+func launchSites(prog *Program, pkg *Package, body *ast.BlockStmt) []launchSite {
+	var out []launchSite
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch st := x.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+				out = append(out, launchSite{lit: lit, pos: st.Pos(), kind: "go"})
+			}
+			for _, arg := range st.Call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					out = append(out, launchSite{lit: lit, pos: st.Pos(), kind: "go"})
+				}
+			}
+		case *ast.CallExpr:
+			callee, sum := prog.summaryFor(pkg, st)
+			if sum == nil || sum.escParams == 0 {
+				return true
+			}
+			args := callArgs(pkg, st, callee)
+			for j, arg := range args {
+				if j >= 64 || sum.escParams&(1<<j) == 0 {
+					continue
+				}
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					out = append(out, launchSite{lit: lit, pos: st.Pos(), kind: "pool"})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockGraphEdges builds (once per Program) the whole-module lock-order
+// edge list: every funcNode's straight-line edges plus the edges of each
+// goroutine-carrying literal it launches — a rank goroutine locking b and
+// calling a helper that locks a closes a cycle just as surely as
+// straight-line code. Test-file declarations are excluded, matching the
+// lockorder analyzer's SkipTests.
+func (p *Program) lockGraphEdges() []lockEdge {
+	if p.lockEdgesBuilt {
+		return p.lockEdges
+	}
+	p.lockEdgesBuilt = true
+	for _, id := range p.graph.sortedNodeIDs() {
+		n := p.graph.nodes[id]
+		if n.pkg.TypesInfo == nil || isTestFile(n.pkg, n.decl) {
+			continue
+		}
+		resolve := func(call *ast.CallExpr) (*funcNode, *summary) {
+			callee := p.graph.calleeOf(n.pkg, call)
+			if callee == nil {
+				return nil, nil
+			}
+			return callee, p.summaries[callee.id]
+		}
+		lf := newLockFlow(n.pkg, n.id, resolve)
+		lf.walk(n.decl.Body)
+		p.lockEdges = append(p.lockEdges, lf.edges...)
+		for _, s := range launchSites(p, n.pkg, n.decl.Body) {
+			inner := newLockFlow(n.pkg, n.id, resolve)
+			inner.walk(s.lit.Body)
+			p.lockEdges = append(p.lockEdges, inner.edges...)
+		}
+	}
+	return p.lockEdges
+}
+
+// syncPrimitiveType reports whether t is itself a synchronization primitive
+// — a channel, sync.WaitGroup/Mutex/RWMutex/Once/Cond/Pool, or a
+// sync/atomic value type. Captured variables of these types ARE the
+// synchronization and are exempt from the shared-state rules.
+func syncPrimitiveType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	case "testing":
+		return true // *testing.T and friends synchronize internally
+	}
+	return false
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detOrderPkgs are the result-affecting packages: everything they compute
+// flows into solver outputs, chaos replay digests, or benchmark baselines,
+// all of which the repository pins bit-for-bit. internal/cluster/clustertest
+// is excluded by name — it is test scaffolding (watchdog timers around rank
+// functions) whose select-on-timeout never touches a result.
+var detOrderPkgs = []string{
+	"extdict/internal/mat",
+	"extdict/internal/cluster",
+	"extdict/internal/omp",
+	"extdict/internal/dist",
+}
+
+const detOrderExcluded = "extdict/internal/cluster/clustertest"
+
+// DetOrder is the determinism-taint analyzer over the result-affecting
+// packages: no map-range iteration (order varies per run), no select over
+// multiple ready channels (a scheduling race), no unordered merges —
+// floating-point accumulation into a captured variable from concurrent
+// goroutines, or a merge loop consuming channel receives in arrival order
+// — and, whole-program through the summary lattice, no path from a
+// result-affecting function to a wall-clock or math/rand read even when
+// the read hides in a package the per-file norand/noclock allowlists
+// permit. The one pinned exemption is cluster.(Comm).Run's Stats.Wall
+// measurement, which is observational (see conc.go, wallSinkExempt).
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "result-affecting packages must be schedule-independent: no map ranges, multi-ready selects, unordered concurrent merges, or transitive clock/rand reads; " +
+		"iterate sorted keys, merge partials in fixed order, and thread randomness through internal/rng",
+	SkipTests: true,
+	Run:       runDetOrder,
+}
+
+// runDetOrder applies the four syntactic rules per function and the
+// whole-program taint rule at call sites.
+func runDetOrder(p *Pass) {
+	if !inAnyPkg(p.Pkg.ImportPath, detOrderPkgs...) || hasPrefixPkg(p.Pkg.ImportPath, detOrderExcluded) {
+		return
+	}
+	if p.Pkg.TypesInfo == nil {
+		return
+	}
+	p.EachFile(func(f *ast.File) {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			detOrderFunc(p, decl)
+		}
+	})
+}
+
+// detOrderFunc checks one function body.
+func detOrderFunc(p *Pass, decl *ast.FuncDecl) {
+	info := p.Pkg.TypesInfo
+	sites := launchSites(p.Prog, p.Pkg, decl.Body)
+	launched := make(map[*ast.FuncLit]bool, len(sites))
+	for _, s := range sites {
+		launched[s.lit] = true
+	}
+
+	// walk visits one function body; lit is the innermost launched literal
+	// (nil outside any), the scope boundary that defines "captured".
+	var walk func(body ast.Node, lit *ast.FuncLit)
+	walk = func(body ast.Node, lit *ast.FuncLit) {
+		ast.Inspect(body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				inner := lit
+				if launched[x] {
+					inner = x
+				}
+				walk(x.Body, inner)
+				return false
+			case *ast.RangeStmt:
+				if t := p.TypeOf(x.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !keyCollectRange(x) {
+						p.Reportf(x.Pos(), "range over map %s in a result-affecting path iterates in randomized order; collect and sort the keys first",
+							types.ExprString(x.X))
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					p.Reportf(x.Pos(), "select over %d channels resolves by scheduling when several are ready; receive in a fixed order instead", comm)
+				}
+			case *ast.AssignStmt:
+				detOrderAssign(p, info, x, lit)
+			case *ast.IncDecStmt:
+				// ++/-- on floats is a concurrent-merge hazard like += 1.
+				if lit != nil {
+					if l, t, exempt := lvalueLoc(info, x.X); !exempt && l.obj != nil && isFloat(t) && declaredOutside(l.obj, lit) {
+						p.Reportf(x.Pos(), "floating-point update of captured %s inside a concurrently-launched function makes the merge order scheduling-dependent; accumulate into a per-worker partial and merge in fixed order", l.display())
+					}
+				}
+			case *ast.CallExpr:
+				detOrderCall(p, x)
+			}
+			return true
+		})
+	}
+	walk(decl.Body, nil)
+
+	// Direct clock/rand seeds in this function (minus the pinned Wall
+	// exemption) — the whole-program cross-check of norand/noclock.
+	fnID := declFuncID(p.Pkg, decl)
+	if fnID == wallSinkExempt {
+		return
+	}
+	ast.Inspect(decl.Body, func(x ast.Node) bool {
+		ident, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[ident]
+		if obj == nil {
+			return true
+		}
+		if isClockObj(obj) {
+			p.Reportf(ident.Pos(), "result-affecting path reads the wall clock (time.%s); hoist measurement out of the kernel or record it observationally like cluster.Stats.Wall", obj.Name())
+			return true
+		}
+		if fn, isFn := obj.(*types.Func); isFn && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(ident.Pos(), "result-affecting path draws from math/rand (rand.%s); thread randomness through internal/rng", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// detOrderAssign flags the two unordered-merge shapes on assignments:
+// a compound floating-point update of a captured variable inside a
+// launched literal (the WaitGroup-merge race — even a mutex around it
+// leaves the addition order scheduling-dependent), and a compound update
+// whose right-hand side consumes a channel receive (arrival-order merge).
+func detOrderAssign(p *Pass, info *types.Info, st *ast.AssignStmt, lit *ast.FuncLit) {
+	compound := st.Tok != token.ASSIGN && st.Tok != token.DEFINE
+	if !compound {
+		return
+	}
+	for _, rhs := range st.Rhs {
+		recv := false
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = true
+			}
+			_, isLit := n.(*ast.FuncLit)
+			return !isLit
+		})
+		if recv {
+			p.Reportf(st.Pos(), "compound assignment folds in a channel receive, so the result depends on arrival order; receive into indexed slots and merge in fixed order")
+			return
+		}
+	}
+	if lit == nil {
+		return
+	}
+	for _, lhs := range st.Lhs {
+		l, t, exempt := lvalueLoc(info, lhs)
+		if exempt || l.obj == nil || !isFloat(t) {
+			continue
+		}
+		if !declaredOutside(l.obj, lit) {
+			continue
+		}
+		p.Reportf(st.Pos(), "floating-point accumulation into captured %s inside a concurrently-launched function makes the merge order scheduling-dependent; accumulate into a per-worker partial and merge in fixed order", l.display())
+		return
+	}
+}
+
+// detOrderCall flags call sites whose callee transitively reaches a clock
+// or math/rand read — but only callees outside the detorder scope, which
+// report their own seeds directly; this is where a result-affecting kernel
+// calling into an allowlisted package (internal/perf may read clocks) gets
+// caught.
+func detOrderCall(p *Pass, call *ast.CallExpr) {
+	callee, sum := p.Prog.summaryFor(p.Pkg, call)
+	if sum == nil || sum.detVia == "" {
+		return
+	}
+	if inAnyPkg(callee.pkg.ImportPath, detOrderPkgs...) && !hasPrefixPkg(callee.pkg.ImportPath, detOrderExcluded) {
+		return // reported at its own seed
+	}
+	p.Reportf(call.Pos(), "call to %s reaches a nondeterministic read (%s) on a result-affecting path; hoist it out of the kernel or thread the value in as an argument",
+		callee.name, sum.detVia)
+}
+
+// keyCollectRange recognizes the canonical fix — a key-only map range whose
+// single statement appends the key to a slice for later sorting — so the
+// rewrite the map-range message suggests does not itself trip the rule.
+func keyCollectRange(r *ast.RangeStmt) bool {
+	if r.Value != nil || r.Body == nil || len(r.Body.List) != 1 {
+		return false
+	}
+	key, ok := r.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	asg, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether obj's declaration lies outside node n.
+func declaredOutside(obj types.Object, n ast.Node) bool {
+	return obj.Pos() < n.Pos() || obj.Pos() >= n.End()
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module's static lock-acquisition graph — an edge
+// A→B whenever B is acquired (directly or through a callee, via the
+// summary lattice) while A is held — and enforces four disciplines: no
+// cycles in the graph (the classic deadlock shape), no lock acquired by
+// pool-submitted work while the submitter already holds it (trySubmit's
+// inline fallback would run the body on the submitting goroutine's stack
+// and self-deadlock), no function returning with a lock still held, and no
+// loop iteration that changes the held lockset (an imbalance that
+// compounds per iteration).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "lock acquisitions must form a cycle-free order, pair Lock/Unlock on every path, and never overlap pool submission; " +
+		"acquire locks in one global order and defer the unlock next to the lock",
+	SkipTests: true,
+	Run:       runLockOrder,
+}
+
+// runLockOrder reports the per-function disciplines for the pass package
+// and the global cycle check once per cycle (at its deterministic
+// representative edge, when that edge lives in this package).
+func runLockOrder(p *Pass) {
+	if p.Pkg.TypesInfo == nil {
+		return
+	}
+	p.EachFile(func(f *ast.File) {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			lockOrderFunc(p, decl)
+		}
+	})
+	reportCycles(p)
+}
+
+// lockOrderFunc checks one function's pairing disciplines.
+func lockOrderFunc(p *Pass, decl *ast.FuncDecl) {
+	fnID := declFuncID(p.Pkg, decl)
+	resolve := func(call *ast.CallExpr) (*funcNode, *summary) {
+		return p.Prog.summaryFor(p.Pkg, call)
+	}
+	lf := newLockFlow(p.Pkg, fnID, resolve)
+	lf.walk(decl.Body)
+	for _, ex := range lf.exits {
+		p.Reportf(ex.pos, "%s returns with %s still held; pair every Lock with a deferred Unlock on the same path",
+			decl.Name.Name, strings.Join(displayLocks(ex.locks), ", "))
+	}
+	for _, lb := range lf.loopBad {
+		p.Reportf(lb.pos, "loop body changes the held lockset (%s); lock and unlock symmetrically within one iteration",
+			strings.Join(displayLocks(lb.locks), ", "))
+	}
+	checkPoolSubmissions(p, decl, fnID, resolve)
+}
+
+// checkPoolSubmissions flags locks acquired inside pool-submitted literals
+// while the submitting site already holds them — the inline-fallback
+// deadlock: trySubmit runs the body on the submitter's own stack when no
+// worker is free, so a lock held across the submission is re-acquired
+// recursively.
+func checkPoolSubmissions(p *Pass, decl *ast.FuncDecl, fnID string, resolve func(*ast.CallExpr) (*funcNode, *summary)) {
+	sites := launchSites(p.Prog, p.Pkg, decl.Body)
+	heldAtSite := make(map[token.Pos][]string)
+	lf := newLockFlow(p.Pkg, fnID, resolve)
+	lf.on = func(e ast.Expr, held map[string]bool) {
+		if _, seen := heldAtSite[e.Pos()]; !seen {
+			heldAtSite[e.Pos()] = sortedHeld(held)
+		}
+	}
+	lf.walk(decl.Body)
+	for _, s := range sites {
+		if s.kind != "pool" {
+			continue
+		}
+		held := heldAtSite[s.pos]
+		if len(held) == 0 {
+			continue
+		}
+		acquired := literalLocks(p, fnID, s.lit, resolve)
+		if both := intersectSorted(held, acquired); len(both) > 0 {
+			p.Reportf(s.pos, "pool-submitted work acquires %s while the submitting site still holds it; the inline fallback in trySubmit would self-deadlock — release the lock before submitting",
+				strings.Join(displayLocks(both), ", "))
+		}
+	}
+}
+
+// literalLocks collects the locks a literal may acquire, directly or
+// through callee summaries, sorted.
+func literalLocks(p *Pass, fnID string, lit *ast.FuncLit, resolve func(*ast.CallExpr) (*funcNode, *summary)) []string {
+	set := make(map[string]bool)
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, delta, ok := lockCall(p.Pkg, fnID, call); ok && delta > 0 {
+			set[id] = true
+		} else if _, sum := resolve(call); sum != nil {
+			for _, id := range sum.locks {
+				set[id] = true
+			}
+		}
+		return true
+	})
+	return capSorted(set, maxSummaryLocks)
+}
+
+// reportCycles finds strongly connected components of the whole-program
+// lock graph and reports each once. The graph is built from every program
+// package so cross-package cycles close; a cycle is reported only by the
+// pass whose package owns the representative edge (the lexicographically
+// smallest (from, to) pair in the cycle), so the module run prints each
+// deadlock exactly once.
+func reportCycles(p *Pass) {
+	edges := p.Prog.lockGraphEdges()
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	for _, scc := range lockSCCs(adj) {
+		in := make(map[string]bool, len(scc))
+		for _, id := range scc {
+			in[id] = true
+		}
+		// Representative edge: smallest (from, to) within the component.
+		var rep *lockEdge
+		for i := range edges {
+			e := &edges[i]
+			if !in[e.from] || !in[e.to] {
+				continue
+			}
+			if rep == nil || e.from < rep.from || (e.from == rep.from && e.to < rep.to) {
+				rep = e
+			}
+		}
+		if rep == nil {
+			continue
+		}
+		pos := p.Pkg.Fset.Position(rep.pos)
+		owned := false
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.Fset.Position(f.Pos()).Filename == pos.Filename {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		via := ""
+		if rep.via != "" {
+			via = " (acquired inside " + rep.via + ")"
+		}
+		p.Reportf(rep.pos, "lock-order cycle %s: %s is acquired while %s is held and the reverse order also occurs%s; acquire these locks in one global order",
+			cycleName(scc), lockDisplay(rep.to), lockDisplay(rep.from), via)
+	}
+}
+
+// cycleName renders a component as a stable sorted list.
+func cycleName(scc []string) string {
+	names := make([]string, len(scc))
+	for i, id := range scc {
+		names[i] = lockDisplay(id)
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// lockSCCs returns the strongly connected components with at least two
+// locks (a one-lock component cannot deadlock against itself: recursive
+// re-acquisition surfaces as the pool-submission or exit checks instead).
+// Tarjan's algorithm, iterative-free — the graphs here are tiny.
+func lockSCCs(adj map[string]map[string]bool) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		succs := make([]string, 0, len(adj[v]))
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) >= 2 {
+				sort.Strings(scc)
+				out = append(out, scc)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -55,6 +55,9 @@ var designHeadings = map[string]string{
 	"panicmsg":    "`panicmsg` — crash attribution",
 	"nofloateq":   "`nofloateq` — tolerance discipline",
 	"exporteddoc": "`exporteddoc` — documented internal API surface",
+	"sharedstate": "`sharedstate` — shared-state capture safety",
+	"lockorder":   "`lockorder` — lock acquisition order and discipline",
+	"detorder":    "`detorder` — whole-program determinism order",
 }
 
 // designHelpURI resolves an analyzer name to its DESIGN.md anchor; analyzers

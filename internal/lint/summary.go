@@ -62,6 +62,18 @@ type summary struct {
 	retVal []dep
 	retLen []dep
 	colls  []collSig
+
+	// Concurrency facts (conc.go), consumed by the sharedstate/lockorder/
+	// detorder analyzers. locks is the sorted transitive set of mutexes the
+	// function may acquire; netLocks are the mutexes still held at return
+	// (lock helpers); escParams has bit j set when the j-th call-site
+	// argument (receiver counts as 0) is a func value that escapes to
+	// another goroutine inside the callee; detVia is "" when the function is
+	// determinism-clean and otherwise names the transitive clock/rand seed.
+	locks     []string
+	netLocks  []string
+	escParams uint64
+	detVia    string
 }
 
 // equal compares summaries structurally (colls are kept sorted by key).
@@ -81,6 +93,12 @@ func (s *summary) equal(o *summary) bool {
 		if s.colls[i] != o.colls[i] {
 			return false
 		}
+	}
+	if s.escParams != o.escParams || s.detVia != o.detVia {
+		return false
+	}
+	if !equalStrings(s.locks, o.locks) || !equalStrings(s.netLocks, o.netLocks) {
+		return false
 	}
 	return true
 }
@@ -166,6 +184,7 @@ func analyzeNode(cg *callGraph, sums map[string]*summary, n *funcNode) *summary 
 		}
 	}
 	sort.Slice(out.colls, func(i, j int) bool { return out.colls[i].key() < out.colls[j].key() })
+	concSummarize(cg, sums, n, out)
 	return out
 }
 

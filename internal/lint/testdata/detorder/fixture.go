@@ -1,0 +1,146 @@
+// Package fixture exercises detorder: result-affecting packages must be
+// schedule-independent — no map-range iteration, no select over several
+// ready channels, no unordered concurrent merges (floating-point
+// accumulation into a captured variable, even under a lock; compound
+// assignments folding in channel receives), and no clock or math/rand
+// reads. The fixed-order patterns at the bottom must stay quiet, and the
+// whole file must go quiet when loaded under an import path outside the
+// detorder scope.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// mapMerge folds map values in iteration order, which Go randomizes.
+func mapMerge(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w { // want "range over map w in a result-affecting path"
+		total += v
+	}
+	return total
+}
+
+// firstReady returns whichever channel wins the scheduling race.
+func firstReady(a, b chan float64) float64 {
+	select { // want "select over 2 channels resolves by scheduling"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// lockedMerge serializes the += with a mutex, but float addition is not
+// associative: the sum still depends on which worker locks first.
+func lockedMerge(parts [][]float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := 0.0
+			for _, v := range part {
+				s += v
+			}
+			mu.Lock()
+			sum += s // want "floating-point accumulation into captured sum"
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// arrivalMerge folds partials in the order they arrive on the channel.
+func arrivalMerge(parts [][]float64) float64 {
+	res := make(chan float64, len(parts))
+	for _, part := range parts {
+		go func() {
+			s := 0.0
+			for _, v := range part {
+				s += v
+			}
+			res <- s
+		}()
+	}
+	sum := 0.0
+	for range parts {
+		sum += <-res // want "compound assignment folds in a channel receive"
+	}
+	return sum
+}
+
+// timedKernel reads the wall clock on the result path.
+func timedKernel(x []float64) float64 {
+	start := time.Now() // want "result-affecting path reads the wall clock"
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	if time.Since(start) > time.Millisecond { // want "result-affecting path reads the wall clock"
+		return 0
+	}
+	return s
+}
+
+// jitter draws from the global math/rand stream.
+func jitter() float64 {
+	return rand.Float64() // want "result-affecting path draws from math/rand"
+}
+
+// --- fixed-order patterns: none of these may produce findings ------------
+
+// sortedMerge iterates the map through sorted keys; the key-collection
+// range is the canonical fix and is exempt.
+func sortedMerge(w map[string]float64) float64 {
+	keys := make([]string, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += w[k]
+	}
+	return total
+}
+
+// indexedMerge receives into indexed slots and folds them in slice order.
+func indexedMerge(parts [][]float64) float64 {
+	partials := make([]float64, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := 0.0
+			for _, v := range part {
+				s += v
+			}
+			partials[i] = s
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// timeoutGuard selects over one channel plus a timer: a single comm clause
+// with a default is a poll, not a race.
+func timeoutGuard(ch chan float64) (float64, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,23 @@
+// Package fixture proves detorder's whole-program taint rule: the clock
+// read hides inside internal/perf — a package the per-file noclock
+// allowlist permits — yet a result-affecting kernel that calls into it is
+// still caught through the summary lattice. Loaded only by
+// TestDetOrderTransitiveClock, which runs it against the full module
+// program (runFixture's single-package program has no perf summaries).
+package fixture
+
+import "extdict/internal/perf"
+
+// timedNorm threads a Stopwatch through a kernel: the elapsed time gates
+// the result, so the clock read two calls away is result-affecting.
+func timedNorm(x []float64) float64 {
+	sw := perf.StartWall()
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	if sw.Elapsed() < 0 {
+		return 0
+	}
+	return s
+}

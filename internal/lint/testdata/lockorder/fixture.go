@@ -1,0 +1,131 @@
+// Package fixture exercises lockorder: lock acquisitions across the whole
+// program must form a cycle-free order (directly or through callees), pair
+// every Lock with an Unlock on every path, keep loop iterations
+// lock-balanced, and never submit work to the pool that re-acquires a lock
+// the submitting site still holds (trySubmit's inline fallback would run
+// it recursively on the same stack). The branch-sensitive patterns at the
+// bottom — the gramRow-style conditional unlock and the defer pairing —
+// must stay quiet.
+package fixture
+
+import "sync"
+
+var (
+	ma sync.Mutex
+	mb sync.Mutex
+	mc sync.Mutex
+	md sync.Mutex
+	me sync.Mutex
+	mf sync.Mutex
+	mg sync.Mutex
+	mh sync.Mutex
+)
+
+// abOrder and baOrder acquire {ma, mb} in opposite orders: the classic
+// deadlock. The cycle is reported once, at its representative edge.
+func abOrder() {
+	ma.Lock()
+	mb.Lock() // want "lock-order cycle"
+	mb.Unlock()
+	ma.Unlock()
+}
+
+func baOrder() {
+	mb.Lock()
+	ma.Lock()
+	ma.Unlock()
+	mb.Unlock()
+}
+
+// lockSecond hides the md acquisition behind a call: the mc→md edge comes
+// from the callee's summary, and secondThenFirst closes the cycle.
+func lockSecond() {
+	md.Lock()
+	md.Unlock()
+}
+
+func firstThenSecond() {
+	mc.Lock()
+	lockSecond() // want "lock-order cycle"
+	mc.Unlock()
+}
+
+func secondThenFirst() {
+	md.Lock()
+	mc.Lock()
+	mc.Unlock()
+	md.Unlock()
+}
+
+// leak returns with me held on the early-return path.
+func leak(skip bool) {
+	me.Lock()
+	if skip {
+		return // want "returns with me still held"
+	}
+	me.Unlock()
+}
+
+// ratchet re-locks every iteration without releasing.
+func ratchet(n int) {
+	for i := 0; i < n; i++ { // want "loop body changes the held lockset"
+		mg.Lock()
+	}
+}
+
+// jobs/submit is the fixture pool sink: fn escapes to worker goroutines.
+var jobs = make(chan func(), 8)
+
+func submit(fn func()) bool {
+	select {
+	case jobs <- fn:
+		return true
+	default:
+		fn() // inline fallback, on the submitter's stack
+		return false
+	}
+}
+
+// submitUnderLock holds mh across the submission of work that re-acquires
+// mh: if the pool is busy, the inline fallback self-deadlocks.
+func submitUnderLock() {
+	mh.Lock()
+	submit(func() { // want "pool-submitted work acquires mh while the submitting site still holds it"
+		mh.Lock()
+		mh.Unlock()
+	})
+	mh.Unlock()
+}
+
+// --- balanced patterns: none of these may produce findings ---------------
+
+// lockedLookup unlocks on both the hit and miss paths (the omp gramRow
+// shape: conditional early return inside the critical section).
+func lockedLookup(m map[int]int, k int) int {
+	mf.Lock()
+	if v, ok := m[k]; ok {
+		mf.Unlock()
+		return v
+	}
+	mf.Unlock()
+	return -1
+}
+
+// deferred pairs the Lock with a deferred Unlock; the panic path unwinds
+// through the defer too.
+func deferred(fail bool) {
+	ma.Lock()
+	defer ma.Unlock()
+	if fail {
+		panic("fixture: deferred failure")
+	}
+}
+
+// nested repeats the ma→mb direction abOrder already uses: a second
+// acquisition in the same global order adds no new cycle.
+func nested() {
+	ma.Lock()
+	mb.Lock()
+	mb.Unlock()
+	ma.Unlock()
+}

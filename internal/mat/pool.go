@@ -33,20 +33,23 @@ type poolJob struct {
 }
 
 var (
-	poolOnce     sync.Once
+	poolOnce     = new(sync.Once)
 	poolCh       chan poolJob
+	poolWorkers  sync.WaitGroup
 	poolInFlight atomic.Int64
 	poolPeak     atomic.Int64
 )
 
 func poolStart() {
 	poolCh = make(chan poolJob)
+	poolWorkers.Add(poolBudget)
 	for i := 0; i < poolBudget; i++ {
 		go poolWorker()
 	}
 }
 
 func poolWorker() {
+	defer poolWorkers.Done()
 	for job := range poolCh {
 		n := poolInFlight.Add(1)
 		for {
@@ -85,3 +88,20 @@ func PoolPeakWorkers() int { return int(poolPeak.Load()) }
 
 // ResetPoolPeak clears the high-water mark. Test instrumentation.
 func ResetPoolPeak() { poolPeak.Store(0) }
+
+// drainPool retires every worker and rearms the lazy start, so tests can
+// count goroutines hermetically and prove the pool leaks none. It must be
+// called only while no kernel is running — trySubmit on a draining pool
+// would send on a closed channel. Test instrumentation; production code
+// never stops the pool.
+func drainPool() {
+	if poolCh == nil {
+		return // never started
+	}
+	close(poolCh)
+	poolWorkers.Wait()
+	poolCh = nil
+	poolOnce = new(sync.Once)
+	poolInFlight.Store(0)
+	poolPeak.Store(0)
+}

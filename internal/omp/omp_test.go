@@ -3,7 +3,6 @@ package omp
 import (
 	"math"
 	"testing"
-	"testing/quick"
 
 	"extdict/internal/mat"
 	"extdict/internal/rng"
@@ -143,8 +142,20 @@ func TestMaxAtomsCap(t *testing.T) {
 
 func TestBatchMatchesReference(t *testing.T) {
 	// Core property: Batch-OMP and reference OMP agree on supports,
-	// coefficients, and residuals for arbitrary signals.
-	f := func(seed uint16) bool {
+	// reconstructions, and residuals for arbitrary signals. Raw
+	// coefficients are NOT compared: a near-degenerate subdictionary makes
+	// the coefficient solve ill-conditioned, so the two algorithms can
+	// round them differently (up to ~7e-3 in an exhaustive uint16-seed
+	// sweep) while the approximations D·coef stay within 1.4e-7. Seeds are
+	// drawn from the repo rng rather than testing/quick's time-seeded
+	// generator so every run checks the same inputs; 6834 and 32637 are
+	// pinned — the worst-conditioned draws found by the sweep.
+	seeds := []uint16{6834, 32637}
+	sr := rng.New(0xba7c)
+	for len(seeds) < 64 {
+		seeds = append(seeds, uint16(sr.Intn(1<<16)))
+	}
+	for _, seed := range seeds {
 		r := rng.New(uint64(seed))
 		m := 8 + r.Intn(24)
 		l := m + r.Intn(2*m)
@@ -157,20 +168,25 @@ func TestBatchMatchesReference(t *testing.T) {
 		ref := Encode(d, sig, tol, 0)
 		bat := NewBatchCoder(d).Encode(sig, tol, 0, nil)
 		if len(ref.Idx) != len(bat.Idx) {
-			return false
+			t.Fatalf("seed %d: support sizes differ: %d vs %d", seed, len(ref.Idx), len(bat.Idx))
 		}
+		recon := make([]float64, m)
 		for i := range ref.Idx {
 			if ref.Idx[i] != bat.Idx[i] {
-				return false
+				t.Fatalf("seed %d: atom %d differs: %d vs %d", seed, i, ref.Idx[i], bat.Idx[i])
 			}
-			if math.Abs(ref.Coef[i]-bat.Coef[i]) > 1e-6 {
-				return false
+			for row := 0; row < m; row++ {
+				recon[row] += (ref.Coef[i] - bat.Coef[i]) * d.At(row, ref.Idx[i])
 			}
 		}
-		return math.Abs(ref.Resid2-bat.Resid2) < 1e-6
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Fatal(err)
+		for row := 0; row < m; row++ {
+			if math.Abs(recon[row]) > 1e-6 {
+				t.Fatalf("seed %d: reconstructions differ by %g at row %d", seed, recon[row], row)
+			}
+		}
+		if math.Abs(ref.Resid2-bat.Resid2) > 1e-6 {
+			t.Fatalf("seed %d: residuals differ by %g", seed, ref.Resid2-bat.Resid2)
+		}
 	}
 }
 

@@ -5,13 +5,23 @@
 # project invariant linter (cmd/extdict-lint, all analyzers, SARIF report,
 # and a check that -fix would not change any file), a diff of the static
 # collective schedule (-trace) against its golden, the full test suite with
-# an aggregate coverage floor, and the race detector over every internal
-# package. Everything must pass for a change to land.
+# an aggregate coverage floor, the race detector over every internal
+# package, and the GOMAXPROCS determinism matrix. Everything must pass for
+# a change to land.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== go build"
 go build ./...
+
+echo "== no tracked SARIF artifacts"
+# SARIF reports are per-run build artifacts (.gitignore: *.sarif); a
+# committed one goes stale instantly and shadows the CI upload.
+if git ls-files -- '*.sarif' | grep -q .; then
+    echo "these SARIF reports are tracked but must not be:" >&2
+    git ls-files -- '*.sarif' >&2
+    exit 1
+fi
 
 echo "== go vet"
 go vet ./...
@@ -41,6 +51,27 @@ fi
 
 echo "== extdict-lint"
 go run ./cmd/extdict-lint -sarif extdict-lint.sarif ./...
+
+echo "== SARIF report carries the concurrency rules"
+# The uploaded report must advertise the whole suite — a stale binary or a
+# narrowed run would silently drop the newest analyzers' rule metadata.
+for rule in sharedstate lockorder detorder; do
+    if ! grep -q "\"id\": \"$rule\"" extdict-lint.sarif; then
+        echo "extdict-lint.sarif lacks rule metadata for $rule" >&2
+        exit 1
+    fi
+done
+
+echo "== extdict-lint dogfood (internal/lint itself must be clean)"
+# The linter's own sources hold to the documentation, error-handling, and
+# panic-attribution invariants it enforces on the rest of the module.
+go run ./cmd/extdict-lint -checks exporteddoc,errcheck,panicmsg ./internal/lint/...
+
+echo "== extdict-lint -checks sharedstate,lockorder,detorder (tree must be concurrency-clean)"
+# The full run above already covers the three concurrency analyzers, but —
+# like the memmodel assert below — this keeps the zero-unsuppressed-findings
+# guarantee explicit even if someone narrows the run above.
+go run ./cmd/extdict-lint -checks sharedstate,lockorder,detorder ./...
 
 echo "== extdict-lint -checks memmodel (tree must be memory-model clean)"
 # The roofline report divides proven flop polynomials by proven byte
@@ -84,6 +115,19 @@ fi
 
 echo "== go test -race (all internal packages)"
 go test -race -short -count=1 ./internal/...
+
+echo "== determinism matrix (GOMAXPROCS = 1, 2, NumCPU)"
+# The Par-kernel equivalence tests and the 24-seed chaos replay must hold
+# under serial, dual, and fully parallel scheduling. The chaos digest test
+# compares every run against the same committed golden
+# (internal/cluster/chaos/testdata/replay.digest), so the three settings
+# cannot silently diverge from one another or from the recorded baseline.
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+for gmp in 1 2 "$ncpu"; do
+    echo "-- GOMAXPROCS=$gmp"
+    GOMAXPROCS=$gmp go test -count=1 -run 'TestPar' ./internal/mat/
+    GOMAXPROCS=$gmp go test -count=1 ./internal/cluster/chaos/
+done
 
 echo "== bench smoke (kernel benchmarks must run)"
 # One iteration of every kernel microbenchmark: catches benchmarks that
