@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -45,9 +47,16 @@ type jsonReport struct {
 }
 
 type jsonExperiment struct {
-	ID      string             `json:"id"`
-	WallMS  float64            `json:"wall_ms"`
-	Metrics map[string]float64 `json:"metrics"`
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	// HeapPeakBytes is the experiment's measured HeapAlloc high-water
+	// (collection is paused around the run, so the heap grows monotonically
+	// and the final HeapAlloc is the true peak). The analytic counterpart
+	// sits in Metrics: tab2 reports the Eq. 4 per-rank prediction
+	// (resident_bytes_*), fig7 the runtime-counted per-rank resident sets
+	// (resident_ata_*/resident_exd_*).
+	HeapPeakBytes uint64             `json:"heap_peak_bytes"`
+	Metrics       map[string]float64 `json:"metrics"`
 }
 
 func run(args []string, w io.Writer) error {
@@ -108,19 +117,52 @@ func runJSON(w io.Writer, reg map[string]runner, ids []string, cfg benchConfig) 
 	}
 	for _, id := range ids {
 		sw := perf.StartWall()
+		hw := startHeapWatch()
 		art, err := reg[id](cfg)
+		peak := hw.stop()
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		rep.Experiments = append(rep.Experiments, jsonExperiment{
-			ID:      id,
-			WallMS:  float64(sw.Elapsed().Nanoseconds()) / 1e6,
-			Metrics: art.Metrics,
+			ID:            id,
+			WallMS:        float64(sw.Elapsed().Nanoseconds()) / 1e6,
+			HeapPeakBytes: peak,
+			Metrics:       art.Metrics,
 		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// heapWatch measures one experiment's HeapAlloc high-water mark. The
+// collector is paused for the duration, so HeapAlloc grows monotonically
+// and the final reading is the true peak — no sampling goroutine needed.
+// The laptop-scale experiments allocate modestly (the hot paths are
+// allocation-free by lint), so running one uncollected is safe.
+type heapWatch struct {
+	base   uint64
+	prevGC int
+}
+
+func startHeapWatch() heapWatch {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return heapWatch{base: ms.HeapAlloc, prevGC: debug.SetGCPercent(-1)}
+}
+
+// stop reads the peak, restores collection, and returns the experiment's
+// net high-water over its starting heap.
+func (h heapWatch) stop() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	debug.SetGCPercent(h.prevGC)
+	runtime.GC()
+	if ms.HeapAlloc <= h.base {
+		return 0
+	}
+	return ms.HeapAlloc - h.base
 }
 
 func keys(m map[string]runner) []string {

@@ -80,6 +80,7 @@ func registry(trials, components int) map[string]runner {
 				m["transf_ms_"+row.Dataset] = row.TransfMS
 				m["chosen_l_"+row.Dataset] = float64(row.ChosenL)
 				m["alpha_"+row.Dataset] = row.Alpha
+				m["resident_bytes_"+row.Dataset] = row.ResidentBytes
 			}
 			return artifact{Table: r.Table(), Metrics: m}, nil
 		},
@@ -94,6 +95,8 @@ func registry(trials, components int) map[string]runner {
 					key := fmt.Sprintf("%s_P%d", ds.Name, cell.Platform.P())
 					m["improvement_"+key] = cell.Improvement["AᵀA"]
 					m["chosen_l_"+key] = float64(cell.ChosenL)
+					m["resident_ata_"+key] = float64(cell.Resident["AᵀA"])
+					m["resident_exd_"+key] = float64(cell.Resident["ExtDict"])
 				}
 			}
 			return artifact{Table: r.Table(), Metrics: m}, nil

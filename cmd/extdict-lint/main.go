@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	extdict-lint [-json] [-fix] [-sarif report.sarif] [-trace trace.json] [-roofline roofline.json] [-checks spec] [-C dir] [packages...]
+//	extdict-lint [-json] [-fix] [-sarif report.sarif] [-trace trace.json] [-roofline roofline.json] [-capacity capacity.json] [-checks spec] [-C dir] [packages...]
 //
 // Package patterns follow the go tool's shape ("./...", "./internal/dist")
 // and are resolved relative to the module root; the default is the whole
@@ -33,6 +33,13 @@
 // shape, and the compute-/bandwidth-bound classification against the
 // default platform's machine balance. "-" writes to stdout. CI diffs this
 // against the checked-in golden report.
+//
+// -capacity writes the static capacity report: for every solver/dist rank
+// entry point the per-rank peak-resident polynomial proven by the
+// allocmodel analyzer, evaluated at the documented reference shapes and
+// classified as fits / needs-out-of-core against the default platform's
+// per-rank RAM. "-" writes to stdout. CI diffs this against the checked-in
+// golden report.
 //
 // Exit codes are stable: 0 — no findings; 1 — findings reported (after -fix,
 // findings remaining); 2 — usage, load, or type-check error. Type-check
@@ -74,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	tracePath := fs.String("trace", "", `write static collective schedules as JSON to this file ("-" for stdout)`)
 	rooflinePath := fs.String("roofline", "", `write the static roofline report as JSON to this file ("-" for stdout)`)
+	capacityPath := fs.String("capacity", "", `write the static capacity report as JSON to this file ("-" for stdout)`)
 	chdir := fs.String("C", "", "run as if started in this directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var findings []lint.Finding
 	var traces []lint.OpTrace
 	var roofRows []lint.RooflineRow
+	var capRows []lint.CapacityRow
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			typeErrors++
@@ -131,6 +140,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *rooflinePath != "" {
 			roofRows = append(roofRows, lint.Roofline(pkg)...)
+		}
+		if *capacityPath != "" {
+			capRows = append(capRows, lint.Capacity(pkg)...)
 		}
 	}
 
@@ -144,6 +156,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *rooflinePath != "" {
 		balance := cluster.NewPlatform(1, 1).MachineBalance()
 		if err := writeRoofline(stdout, *rooflinePath, lint.NewRooflineReport(balance, roofRows)); err != nil {
+			fmt.Fprintln(stderr, "extdict-lint:", err)
+			return 2
+		}
+	}
+
+	if *capacityPath != "" {
+		capacity := cluster.NewPlatform(1, 1).MemBytesCapacity()
+		if err := writeCapacity(stdout, *capacityPath, lint.NewCapacityReport(capacity, capRows)); err != nil {
 			fmt.Fprintln(stderr, "extdict-lint:", err)
 			return 2
 		}
@@ -227,6 +247,22 @@ func writeTraces(stdout io.Writer, path string, traces []lint.OpTrace) error {
 // already sorted by NewRooflineReport so the output is diffable against a
 // checked-in golden file.
 func writeRoofline(stdout io.Writer, path string, report lint.RooflineReport) error {
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// writeCapacity emits the static capacity report as indented JSON, rows
+// already sorted by NewCapacityReport so the output is diffable against a
+// checked-in golden file.
+func writeCapacity(stdout io.Writer, path string, report lint.CapacityReport) error {
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -27,6 +27,16 @@ type Stats struct {
 	// MaxBytes is the largest per-rank byte count (the bandwidth-bound
 	// analogue of MaxFlops).
 	MaxBytes int64
+	// PeakResidentPerRank is the exact resident-set size each rank reported
+	// through AddResident: the bytes of operator state (data blocks,
+	// dictionary replicas, scratch buffers) live on that rank for the run —
+	// the Eq. 4 capacity axis, and the runtime ground truth the static
+	// allocmodel analyzer's derived resident polynomials are checked
+	// against.
+	PeakResidentPerRank []int64
+	// MaxResident is the largest per-rank resident set — the number a
+	// platform's MemBytesCapacity must cover for the run to fit in RAM.
+	MaxResident int64
 	// PathWords counts words on the communication critical path: each
 	// collective contributes its vector length once (pipelined tree), the
 	// quantity the paper's min(M, L) bound refers to.
@@ -93,6 +103,19 @@ func (s *Stats) Accumulate(o Stats) {
 	for i, b := range o.BytesPerRank {
 		s.BytesPerRank[i] += b
 	}
+	if s.PeakResidentPerRank == nil {
+		s.PeakResidentPerRank = make([]int64, len(o.PeakResidentPerRank))
+	}
+	if len(s.PeakResidentPerRank) != len(o.PeakResidentPerRank) {
+		panic("cluster: Accumulate rank-count mismatch")
+	}
+	// Residency is a high-water mark, not a flow: iterations reuse the same
+	// operator buffers, so across iterations the peak is the element-wise
+	// max, never the sum.
+	for i, b := range o.PeakResidentPerRank {
+		s.PeakResidentPerRank[i] = max(s.PeakResidentPerRank[i], b)
+	}
+	s.MaxResident = max(s.MaxResident, o.MaxResident)
 	s.TotalFlops += o.TotalFlops
 	s.TotalBytes += o.TotalBytes
 	// Sequential iterations: critical paths add.
@@ -138,6 +161,12 @@ type Comm struct {
 	totalFlops []int64
 	sinceBytes []int64
 	totalBytes []int64
+
+	// residentBytes[r] accumulates rank r's reported resident-set bytes for
+	// the current Run. Within one Run the operators' AddResident claims are
+	// establishment-only (hotalloc keeps rank bodies allocation-free, so
+	// nothing is freed mid-run) and the sum is the peak.
+	residentBytes []int64
 
 	pathWords  int64
 	totalWords int64
@@ -206,16 +235,17 @@ func NewComm(p Platform) *Comm {
 		panic(err)
 	}
 	c := &Comm{
-		platform:   p,
-		p:          p.Topology.P(),
-		speeds:     p.RankSpeeds(),
-		contrib:    make([][]float64, p.Topology.P()),
-		dst:        make([][]float64, p.Topology.P()),
-		sinceFlops: make([]int64, p.Topology.P()),
-		totalFlops: make([]int64, p.Topology.P()),
-		sinceBytes: make([]int64, p.Topology.P()),
-		totalBytes: make([]int64, p.Topology.P()),
-		sinceDelay: make([]float64, p.Topology.P()),
+		platform:      p,
+		p:             p.Topology.P(),
+		speeds:        p.RankSpeeds(),
+		contrib:       make([][]float64, p.Topology.P()),
+		dst:           make([][]float64, p.Topology.P()),
+		sinceFlops:    make([]int64, p.Topology.P()),
+		totalFlops:    make([]int64, p.Topology.P()),
+		sinceBytes:    make([]int64, p.Topology.P()),
+		totalBytes:    make([]int64, p.Topology.P()),
+		residentBytes: make([]int64, p.Topology.P()),
+		sinceDelay:    make([]float64, p.Topology.P()),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -286,15 +316,16 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 	c.modeled += tail
 
 	st := Stats{
-		FlopsPerRank:  append([]int64(nil), c.totalFlops...),
-		BytesPerRank:  append([]int64(nil), c.totalBytes...),
-		PathWords:     c.pathWords,
-		TotalWords:    c.totalWords,
-		Phases:        c.phases,
-		InjectedDelay: c.injectedDelay,
-		CorruptWords:  c.corruptWords,
-		ModeledTime:   c.modeled,
-		Wall:          wall,
+		FlopsPerRank:        append([]int64(nil), c.totalFlops...),
+		BytesPerRank:        append([]int64(nil), c.totalBytes...),
+		PeakResidentPerRank: append([]int64(nil), c.residentBytes...),
+		PathWords:           c.pathWords,
+		TotalWords:          c.totalWords,
+		Phases:              c.phases,
+		InjectedDelay:       c.injectedDelay,
+		CorruptWords:        c.corruptWords,
+		ModeledTime:         c.modeled,
+		Wall:                wall,
 	}
 	if c.tracing {
 		st.Trace = append([]PhaseTrace(nil), c.trace...)
@@ -309,6 +340,11 @@ func (c *Comm) Run(body func(r *Rank)) Stats {
 		st.TotalBytes += b
 		if b > st.MaxBytes {
 			st.MaxBytes = b
+		}
+	}
+	for _, b := range c.residentBytes {
+		if b > st.MaxResident {
+			st.MaxResident = b
 		}
 	}
 	st.ModeledEnergy = float64(st.TotalFlops)*c.platform.Cost.FlopEnergy +
@@ -329,6 +365,7 @@ func (c *Comm) reset() {
 		c.totalFlops[i] = 0
 		c.sinceBytes[i] = 0
 		c.totalBytes[i] = 0
+		c.residentBytes[i] = 0
 		c.sinceDelay[i] = 0
 	}
 	c.pathWords, c.totalWords, c.phases = 0, 0, 0
@@ -437,6 +474,23 @@ func (r *Rank) AddBytes(n int64) {
 	}
 	r.c.sinceBytes[r.ID] += n
 	r.c.totalBytes[r.ID] += n
+}
+
+// AddResident reports n bytes of operator state resident on this rank for
+// the duration of the run: its data block, any dictionary replica, and its
+// scratch buffers — the per-rank footprint Eq. 4 bounds. Unlike AddFlops
+// and AddBytes this is not a flow: the claims establish a high-water mark
+// (hotalloc keeps rank bodies allocation-free, so within one Run the
+// established set never shrinks and the claim sum is the peak), the counts
+// feed Stats.PeakResidentPerRank, and Stats.Accumulate folds iterations by
+// element-wise max rather than addition. The static allocmodel analyzer
+// proves every claim equal to the resident polynomial it derives from the
+// operator's constructor contracts.
+func (r *Rank) AddResident(n int64) {
+	if n < 0 {
+		panic("cluster: negative resident byte count")
+	}
+	r.c.residentBytes[r.ID] += n
 }
 
 // collective is the shared rendezvous: stage runs under the lock when the

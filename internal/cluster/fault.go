@@ -334,17 +334,18 @@ func (c *Comm) Shrink(dead int) *Comm {
 	speeds = append(speeds, c.speeds[:dead]...)
 	speeds = append(speeds, c.speeds[dead+1:]...)
 	n := &Comm{
-		platform:   c.platform,
-		p:          p,
-		speeds:     speeds,
-		contrib:    make([][]float64, p),
-		dst:        make([][]float64, p),
-		sinceFlops: make([]int64, p),
-		totalFlops: make([]int64, p),
-		sinceBytes: make([]int64, p),
-		totalBytes: make([]int64, p),
-		sinceDelay: make([]float64, p),
-		tracing:    c.tracing,
+		platform:      c.platform,
+		p:             p,
+		speeds:        speeds,
+		contrib:       make([][]float64, p),
+		dst:           make([][]float64, p),
+		sinceFlops:    make([]int64, p),
+		totalFlops:    make([]int64, p),
+		sinceBytes:    make([]int64, p),
+		totalBytes:    make([]int64, p),
+		residentBytes: make([]int64, p),
+		sinceDelay:    make([]float64, p),
+		tracing:       c.tracing,
 	}
 	n.cond = sync.NewCond(&n.mu)
 	if c.plan != nil {

@@ -114,6 +114,15 @@ type CostModel struct {
 	IntraWordEnergy float64 // joules per word moved, same node
 	InterWordEnergy float64 // joules per word moved, cross node
 
+	// MemBytes is the RAM available to one rank in bytes — the capacity
+	// side of Eq. 4. A run whose per-rank resident set (the operators'
+	// AddResident claims, statically derived by the allocmodel analyzer)
+	// exceeds it does not fit in memory and must fall back to a smaller
+	// transform or an out-of-core schedule. Zero means "use the default"
+	// (2 GiB, a deliberately modest commodity-node share so the paper-scale
+	// reference shapes exercise both verdicts).
+	MemBytes int64
+
 	// NodeSpeed optionally makes the cluster heterogeneous: entry i
 	// multiplies node i's flop rate (1 = baseline, 2 = twice as fast).
 	// nil means a homogeneous cluster. The distributed operators
@@ -138,6 +147,8 @@ func DefaultCostModel() CostModel {
 		FlopEnergy:      100e-12,
 		IntraWordEnergy: 1e-9,
 		InterWordEnergy: 12e-9,
+
+		MemBytes: DefaultMemBytes,
 	}
 }
 
@@ -200,6 +211,21 @@ func (p Platform) RbfTime() float64 { return p.WordTime() / p.Cost.FlopTime }
 
 // RbfEnergy returns the word-per-flop energy ratio R_bf^energy of Eq. 3.
 func (p Platform) RbfEnergy() float64 { return p.WordEnergy() / p.Cost.FlopEnergy }
+
+// DefaultMemBytes is the per-rank RAM assumed when a cost model leaves
+// MemBytes zero: 2 GiB.
+const DefaultMemBytes int64 = 2 << 30
+
+// MemBytesCapacity returns the per-rank RAM capacity in bytes, applying the
+// default when the cost model leaves it unset. It is the threshold the
+// static capacity report (extdict-lint -capacity) classifies resident-set
+// polynomials against.
+func (p Platform) MemBytesCapacity() int64 {
+	if p.Cost.MemBytes > 0 {
+		return p.Cost.MemBytes
+	}
+	return DefaultMemBytes
+}
 
 // MachineBalance returns the roofline ridge point in flops per byte: a
 // kernel whose arithmetic intensity (flops ÷ bytes streamed) exceeds this

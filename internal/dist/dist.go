@@ -116,6 +116,10 @@ func (g *DenseGram) Apply(x, y []float64) cluster.Stats {
 		lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
 		blk := g.blocks[r.ID]
 
+		// Resident set (Eq. 4): the rank's M×n_i column window of A plus its
+		// M-vector scratch — established at construction, live for the run.
+		r.AddResident(8 * (int64(g.m)*int64(hi-lo) + int64(g.m)))
+
 		// v_i = A_i·x_i  (2·M·n_i flops: multiply + add per entry). The
 		// pool-parallel kernel splits rows across idle cores; the flop count
 		// is the serial contract. Memory traffic: the block streams once plus
@@ -225,6 +229,12 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 	lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
 	blk := g.blocks[r.ID]
 
+	// Resident set (Eq. 4, Case 1): the rank's CSC block — value and
+	// row-index payload 16·nnz_i plus the column-pointer array — and its
+	// constructor scratch (two L-vectors, one M-vector). D itself joins
+	// only rank 0's resident set below.
+	r.AddResident(16*g.nnz[r.ID] + 8*(int64(hi-lo)+1) + 16*int64(g.l) + 8*int64(g.m))
+
 	// Step 1: v¹_i = C_i·x_i (sparse: 2·nnz_i flops; traffic is the CSC
 	// payload 16·nnz_i plus the dense vectors and column-pointer array).
 	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
@@ -236,11 +246,14 @@ func (g *ExDGram) applyCase1(r *cluster.Rank, x, y []float64) {
 
 	v3 := v1
 	if r.ID == 0 {
-		// Steps 4-5 on rank 0 only: v² = D·v¹ then v³ = Dᵀ·v².
+		// Steps 4-5 on rank 0 only: v² = D·v¹ then v³ = Dᵀ·v². The M×L
+		// dictionary is resident here and nowhere else — the memory saving
+		// that defines Case 1.
 		v2 := g.d.ParMulVec(v1, g.scratch[r.ID].vm)
 		g.d.ParMulVecT(v2, v3)
 		r.AddFlops(2 * 2 * int64(g.m) * int64(g.l))
 		r.AddBytes(2 * 8 * (int64(g.m)*int64(g.l) + int64(g.m) + int64(g.l)))
+		r.AddResident(8 * int64(g.m) * int64(g.l))
 	}
 
 	// Step 6: broadcast v³ (L words).
@@ -257,15 +270,22 @@ func (g *ExDGram) applyCase2(r *cluster.Rank, x, y []float64) {
 	lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
 	blk := g.blocks[r.ID]
 
+	// Resident set (Eq. 4, Case 2): the rank's CSC block payload and
+	// column pointers plus its constructor scratch, as in Case 1.
+	r.AddResident(16*g.nnz[r.ID] + 8*(int64(hi-lo)+1) + 16*int64(g.l) + 8*int64(g.m))
+
 	// Step 1: v¹_i = C_i·x_i.
 	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
 	r.AddFlops(2 * g.nnz[r.ID])
 	r.AddBytes(16*g.nnz[r.ID] + 8*(2*int64(hi-lo)+int64(g.l)+1))
 
 	// Step 3: v²_i = D·v¹_i locally (the replication saves words later).
+	// The M×L dictionary replica joins every rank's resident set — the
+	// memory price Case 2 pays for its 2·M communication bound.
 	v2 := g.d.ParMulVec(v1, g.scratch[r.ID].vm)
 	r.AddFlops(2 * int64(g.m) * int64(g.l))
 	r.AddBytes(8 * (int64(g.m)*int64(g.l) + int64(g.m) + int64(g.l)))
+	r.AddResident(8 * int64(g.m) * int64(g.l))
 
 	// Steps 4-6: v = Σ v²_i, everywhere (M words each way).
 	r.Allreduce(v2)

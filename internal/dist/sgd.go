@@ -65,6 +65,10 @@ func (g *BatchGram) Apply(x, y []float64) cluster.Stats {
 		lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
 		ni := hi - lo
 
+		// Resident set (Eq. 4): the rank's B-vector scratch. The full data
+		// matrix joins below, at its first touch.
+		r.AddResident(8 * int64(g.B))
+
 		// v = A_b,i·x_i: one dot product per batch row over the local block,
 		// through the unrolled kernel (2·B·n_i flops, the Dot contract).
 		v := g.scratch[r.ID][:len(batch)]
@@ -76,6 +80,10 @@ func (g *BatchGram) Apply(x, y []float64) cluster.Stats {
 		r.AddFlops(2 * int64(len(batch)) * int64(ni))
 		// Each Dot streams both operands once: 16·n_i bytes per batch row.
 		r.AddBytes(16 * int64(len(batch)) * int64(ni))
+		// Batch extraction reads rows of the whole M×N matrix, so all of A
+		// stays resident — SGD's "no memory savings" (§VIII-A): row access
+		// defeats the column partitioning, and every rank keeps full A.
+		r.AddResident(8 * int64(g.a.Rows) * int64(g.n))
 
 		// Share the B-vector: SGD's entire communication.
 		r.Allreduce(v)

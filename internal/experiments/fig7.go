@@ -23,6 +23,10 @@ type Fig7Cell struct {
 	Improvement map[string]float64
 	// EnergyImprovement maps method name → ExtDict's energy gain over it.
 	EnergyImprovement map[string]float64
+	// Resident maps method name → the worst rank's peak resident set in
+	// bytes for one iteration (cluster.Stats.MaxResident, the runtime side
+	// of the allocmodel capacity polynomial).
+	Resident map[string]int64
 	// ChosenL is the ExD dictionary size tuned for this platform.
 	ChosenL int
 	// InRegime reports whether this cell is in the paper's operating
@@ -89,6 +93,7 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 				IterEnergy:        map[string]float64{},
 				Improvement:       map[string]float64{},
 				EnergyImprovement: map[string]float64{},
+				Resident:          map[string]int64{},
 			}
 
 			// Original data.
@@ -96,6 +101,7 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 			st := dense.Apply(x, y)
 			cell.IterTime["AᵀA"] = st.ModeledTime
 			cell.IterEnergy["AᵀA"] = st.ModeledEnergy
+			cell.Resident["AᵀA"] = st.MaxResident
 
 			// Baseline transforms through the same Algorithm 2 engine.
 			for nameB, fit := range baseline {
@@ -106,6 +112,7 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 				st := op.Apply(x, y)
 				cell.IterTime[nameB] = st.ModeledTime
 				cell.IterEnergy[nameB] = st.ModeledEnergy
+				cell.Resident[nameB] = st.MaxResident
 			}
 
 			// ExtDict: tune L for THIS platform, then measure.
@@ -124,6 +131,7 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 			stE := op.Apply(x, y)
 			cell.IterTime["ExtDict"] = stE.ModeledTime
 			cell.IterEnergy["ExtDict"] = stE.ModeledEnergy
+			cell.Resident["ExtDict"] = stE.MaxResident
 
 			for _, m := range Fig7Methods[:4] {
 				cell.Improvement[m] = cell.IterTime[m] / cell.IterTime["ExtDict"]

@@ -17,6 +17,10 @@ type Table2Row struct {
 	OverallMS float64
 	ChosenL   int
 	Alpha     float64
+	// ResidentBytes is the Eq. 4 capacity prediction for iterating the
+	// tuned transform on the target platform: the worst rank's peak
+	// resident set (perf.Estimate.MemoryWordsPerRank, in bytes).
+	ResidentBytes float64
 }
 
 // Table2Result reproduces Table II: the one-time preprocessing overhead
@@ -57,13 +61,15 @@ func Table2(cfg Config) (*Table2Result, error) {
 		}
 		fitDur := sw.Elapsed()
 
+		est := perf.PredictTransformed(u.A.Rows, u.A.Cols, fit.L(), fit.C.NNZ(), plat)
 		res.Rows = append(res.Rows, Table2Row{
-			Dataset:   name,
-			TuningMS:  float64(tuneDur.Microseconds()) / 1000,
-			TransfMS:  float64(fitDur.Microseconds()) / 1000,
-			OverallMS: float64((tuneDur + fitDur).Microseconds()) / 1000,
-			ChosenL:   fit.L(),
-			Alpha:     fit.Alpha(),
+			Dataset:       name,
+			TuningMS:      float64(tuneDur.Microseconds()) / 1000,
+			TransfMS:      float64(fitDur.Microseconds()) / 1000,
+			OverallMS:     float64((tuneDur + fitDur).Microseconds()) / 1000,
+			ChosenL:       fit.L(),
+			Alpha:         fit.Alpha(),
+			ResidentBytes: 8 * est.MemoryWordsPerRank,
 		})
 	}
 	return res, nil

@@ -16,6 +16,7 @@ func All() []*Analyzer {
 		Schedule,
 		CostModel,
 		MemModel,
+		AllocModel,
 		SharedState,
 		LockOrder,
 		DetOrder,

@@ -59,6 +59,12 @@ func TestMemModelFixture(t *testing.T) {
 	runFixtureExpectNone(t, MemModel, fixturePath("memmodel", "fixture.go"), "extdict/internal/experiments")
 }
 
+func TestAllocModelFixture(t *testing.T) {
+	runFixture(t, AllocModel, fixturePath("allocmodel", "fixture.go"), "extdict/internal/dist")
+	// Out of scope: the capacity model audits dist and solver only.
+	runFixtureExpectNone(t, AllocModel, fixturePath("allocmodel", "fixture.go"), "extdict/internal/experiments")
+}
+
 func TestMemModelKernelContractsFixture(t *testing.T) {
 	runFixture(t, MemModel, fixturePath("memmodel", "kernels.go"), "extdict/internal/dist")
 	runFixtureExpectNone(t, MemModel, fixturePath("memmodel", "kernels.go"), "extdict/internal/experiments")

@@ -17,7 +17,7 @@ var nilDstKernels = map[string]bool{
 // algorithm's inner iteration, where the paper's cost model assumes
 // allocation-free steady state.
 var hotCallNames = map[string]bool{
-	"Apply": true, "AddFlops": true, "AddBytes": true,
+	"Apply": true, "AddFlops": true, "AddBytes": true, "AddResident": true,
 	"Allreduce": true, "Reduce": true, "Broadcast": true, "Barrier": true,
 }
 

@@ -50,6 +50,7 @@ var designHeadings = map[string]string{
 	"schedule":    "`schedule` — static collective traces vs the runtime",
 	"costmodel":   "`costmodel` — static cost-model conformance (Eqs. 2–4)",
 	"memmodel":    "`memmodel` — static memory-model conformance",
+	"allocmodel":  "`allocmodel` — static capacity-model conformance (Eq. 4)",
 	"hotalloc":    "`hotalloc` — allocation-free hot paths",
 	"errcheck":    "`errcheck` — no discarded errors",
 	"panicmsg":    "`panicmsg` — crash attribution",

@@ -454,7 +454,7 @@ func (s *spmd) callValDep(e *ast.CallExpr) dep {
 	switch s.rankMethod(e) {
 	case "Node":
 		return dep{inherent: true}
-	case "P", "AddFlops", "AddBytes", "Allreduce", "Reduce", "Broadcast", "Barrier":
+	case "P", "AddFlops", "AddBytes", "AddResident", "Allreduce", "Reduce", "Broadcast", "Barrier":
 		return dep{} // uniform by contract (collectives return nothing)
 	}
 	if id, ok := e.Fun.(*ast.Ident); ok && isBuiltinObj(s.info.Uses[id]) {

@@ -226,10 +226,18 @@ type dimPair struct{ rows, cols symExpr }
 // blocks[r.ID] in the rank body both canonicalize to "blocks[]" — the
 // per-rank slots deliberately share one symbol, which is exactly the
 // shape-uniformity the collective schedule relies on.
+// For the allocmodel analyzer the table also records, per key, the byte
+// size of one slice element (sizes) and the storage kind of a matrix field
+// (kinds: "dense" or "csc") — together these turn the shape entries into
+// allocation contracts (8 bytes per dense matrix entry or float64 slot;
+// 16·nnz + 8·(cols+1) for a CSC block's value/row-index payload plus column
+// pointers).
 type shapeTable struct {
 	lens  map[string]map[string]symExpr // type -> key -> slice length
 	dims  map[string]map[string]dimPair // type -> key -> matrix dims
 	subst map[string]map[string]string  // type -> var -> alias
+	sizes map[string]map[string]int64   // type -> key -> bytes per slice element
+	kinds map[string]map[string]string  // type -> key -> "dense" | "csc"
 }
 
 // buildShapes scans every non-test function of the package for constructor
@@ -243,6 +251,8 @@ func buildShapes(pkg *Package) *shapeTable {
 		lens:  make(map[string]map[string]symExpr),
 		dims:  make(map[string]map[string]dimPair),
 		subst: make(map[string]map[string]string),
+		sizes: make(map[string]map[string]int64),
+		kinds: make(map[string]map[string]string),
 	}
 	info := pkg.TypesInfo
 	if info == nil {
@@ -269,6 +279,7 @@ func (t *shapeTable) scanConstructor(pkg *Package, body *ast.BlockStmt) {
 	info := pkg.TypesInfo
 	type builder struct {
 		typeName string
+		fields   *types.Struct     // the literal's struct type, for field kinds
 		bind     map[string]string // types.ExprString(fieldValue) -> field name
 	}
 	builders := make(map[types.Object]*builder)
@@ -298,7 +309,8 @@ func (t *shapeTable) scanConstructor(pkg *Package, body *ast.BlockStmt) {
 		if obj == nil {
 			return true
 		}
-		b := &builder{typeName: name, bind: make(map[string]string)}
+		fields, _ := underlyingStruct(info.TypeOf(lit))
+		b := &builder{typeName: name, fields: fields, bind: make(map[string]string)}
 		for _, el := range lit.Elts {
 			kv, ok := el.(*ast.KeyValueExpr)
 			if !ok {
@@ -368,6 +380,7 @@ func (t *shapeTable) scanConstructor(pkg *Package, body *ast.BlockStmt) {
 		case *ast.CallExpr:
 			if id, ok := rhs.Fun.(*ast.Ident); ok && isBuiltinObj(info.Uses[id]) && id.Name == "make" && len(rhs.Args) >= 2 {
 				t.setLen(tn, key, symFor(b, rhs.Args[1]))
+				t.setSize(tn, key, sliceElemBytes(info.TypeOf(rhs)))
 				return
 			}
 			if tv, ok := info.Types[rhs.Fun]; ok && tv.IsType() && len(rhs.Args) == 1 {
@@ -382,11 +395,17 @@ func (t *shapeTable) scanConstructor(pkg *Package, body *ast.BlockStmt) {
 					t.setSubst(tn, key, "NNZ("+recv.render()+")")
 				case "ColRange", "ColSliceRange":
 					// A column window [lo, hi) of the receiver: rows carry
-					// over, cols are the window width.
+					// over, cols are the window width. ColRange windows are
+					// dense, ColSliceRange copies are CSC.
 					if len(rhs.Args) == 2 {
 						rows := symFor(b, &ast.SelectorExpr{X: sel.X, Sel: ast.NewIdent("Rows")})
 						cols := symSub{symFor(b, rhs.Args[1]), symFor(b, rhs.Args[0])}
 						t.setDims(tn, key, dimPair{rows: rows, cols: cols})
+						if sel.Sel.Name == "ColSliceRange" {
+							t.setKind(tn, key, "csc")
+						} else {
+							t.setKind(tn, key, "dense")
+						}
 					}
 				}
 			}
@@ -404,6 +423,7 @@ func (t *shapeTable) scanConstructor(pkg *Package, body *ast.BlockStmt) {
 				if mk, ok := kv.Value.(*ast.CallExpr); ok {
 					if id, ok := mk.Fun.(*ast.Ident); ok && isBuiltinObj(info.Uses[id]) && id.Name == "make" && len(mk.Args) >= 2 {
 						t.setLen(tn, key+"."+fname.Name, symFor(b, mk.Args[1]))
+						t.setSize(tn, key+"."+fname.Name, sliceElemBytes(info.TypeOf(mk)))
 					}
 				}
 			}
@@ -429,6 +449,9 @@ func (t *shapeTable) scanConstructor(pkg *Package, body *ast.BlockStmt) {
 					dp.cols = symVar(cols)
 				}
 				t.setDims(b.typeName, field, dp)
+				if k := fieldKind(b.fields, field); k != "" {
+					t.setKind(b.typeName, field, k)
+				}
 			}
 		}
 	}
@@ -511,9 +534,73 @@ func (t *shapeTable) setSubst(typeName, v, alias string) {
 	t.subst[typeName][v] = alias
 }
 
+func (t *shapeTable) setSize(typeName, key string, n int64) {
+	if t.sizes[typeName] == nil {
+		t.sizes[typeName] = make(map[string]int64)
+	}
+	t.sizes[typeName][key] = n
+}
+
+func (t *shapeTable) setKind(typeName, key, kind string) {
+	if t.kinds[typeName] == nil {
+		t.kinds[typeName] = make(map[string]string)
+	}
+	t.kinds[typeName][key] = kind
+}
+
+// sizeOf returns the recorded element byte size of a slice key, defaulting
+// to one 8-byte word.
+func (t *shapeTable) sizeOf(typeName, key string) int64 {
+	if n, ok := t.sizes[typeName][key]; ok {
+		return n
+	}
+	return 8
+}
+
+// kindOf returns the recorded storage kind of a matrix key ("" if unknown).
+func (t *shapeTable) kindOf(typeName, key string) string {
+	return t.kinds[typeName][key]
+}
+
 // substFor returns the alias table of one operator type (may be nil).
 func (t *shapeTable) substFor(typeName string) map[string]string {
 	return t.subst[typeName]
+}
+
+// allocSizes is the 64-bit size model allocation contracts are priced
+// under — the word size every byte contract in DESIGN.md assumes.
+var allocSizes = types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+// sliceElemBytes returns the byte size of one element of a slice type,
+// defaulting to one 8-byte word when the type is unresolved.
+func sliceElemBytes(t types.Type) int64 {
+	if t != nil {
+		if s, ok := t.Underlying().(*types.Slice); ok {
+			if n := allocSizes.Sizeof(s.Elem()); n > 0 {
+				return n
+			}
+		}
+	}
+	return 8
+}
+
+// fieldKind classifies a struct field's matrix storage by its named type.
+func fieldKind(st *types.Struct, field string) string {
+	if st == nil {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() != field {
+			continue
+		}
+		switch namedTypeName(st.Field(i).Type()) {
+		case "Dense":
+			return "dense"
+		case "CSC":
+			return "csc"
+		}
+	}
+	return ""
 }
 
 // compositeOf unwraps &T{...} or T{...}.

@@ -63,7 +63,11 @@ type Estimate struct {
 	Time float64
 	// EnergyJ is the Eq. 3 prediction in joules.
 	EnergyJ float64
-	// MemoryWordsPerRank is the Eq. 4 bound: M·L + nnz(C)/P + N/P.
+	// MemoryWordsPerRank is the Eq. 4 bound — the worst rank's peak
+	// resident set in 8-byte words, proven against the allocmodel capacity
+	// polynomial (M·L + 2·nnz(C)/P + N/P + M + 2·L + 1 for the transformed
+	// operator: the dictionary, the CSC block with its row indices and
+	// column pointers, and the per-rank workspace vectors).
 	MemoryWordsPerRank float64
 }
 
@@ -137,7 +141,12 @@ func PredictTransformed(m, n, l, nnz int, plat cluster.Platform) Estimate {
 	e.Time = e.FlopsCritical*c.FlopTime + e.BytesCritical*c.MemByteTime +
 		e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
 	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
-	e.MemoryWordsPerRank = float64(m)*float64(l) + float64(nnz)/p + float64(n)/p
+	// The worst rank's resident set (allocmodel's applyCase1 polynomial,
+	// rank 0, in words): the dictionary M·L, the CSC block's values and row
+	// indices 2·nnz/P, its column pointers N/P + 1, and the workspace
+	// vectors vl1, vl2 (L each) and vm (M).
+	e.MemoryWordsPerRank = float64(m)*float64(l) + 2*float64(nnz)/p +
+		float64(n)/p + float64(m) + 2*float64(l) + 1
 	return e
 }
 
@@ -160,13 +169,16 @@ func PredictDense(m, n int, plat cluster.Platform) Estimate {
 	e.Time = e.FlopsCritical*c.FlopTime + e.BytesCritical*c.MemByteTime +
 		e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
 	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
-	e.MemoryWordsPerRank = float64(m) * float64(n) / p
+	// The rank's resident set (allocmodel's DenseGram polynomial, in
+	// words): the owned M×N/P column block plus the M-length partial
+	// product buffer.
+	e.MemoryWordsPerRank = float64(m)*float64(n)/p + float64(m)
 	return e
 }
 
-// PredictSGD predicts one SGD iteration with batch size b: 4·b·N/P critical
-// flops and 2·b critical words.
-func PredictSGD(n, batch int, plat cluster.Platform) Estimate {
+// PredictSGD predicts one SGD iteration over an m×n data matrix with batch
+// size b: 4·b·N/P critical flops and 2·b critical words.
+func PredictSGD(m, n, batch int, plat cluster.Platform) Estimate {
 	p := float64(plat.Topology.P())
 	e := Estimate{
 		FlopsCritical: 4 * float64(batch) * float64(n) / p,
@@ -182,6 +194,10 @@ func PredictSGD(n, batch int, plat cluster.Platform) Estimate {
 	e.Time = e.FlopsCritical*c.FlopTime + e.BytesCritical*c.MemByteTime +
 		e.PathWords*plat.WordTime() + latencyTerm(plat, 2)
 	e.EnergyJ = e.FlopsTotal*c.FlopEnergy + e.TotalWords*plat.WordEnergy()
+	// The rank's resident set (allocmodel's BatchGram polynomial, in
+	// words): every rank streams the full M×N data matrix from its own
+	// copy, plus the batch-length partial product buffer.
+	e.MemoryWordsPerRank = float64(m)*float64(n) + float64(batch)
 	return e
 }
 

@@ -140,7 +140,7 @@ func TestCommunicationComputeTradeoff(t *testing.T) {
 
 func TestPredictSGD(t *testing.T) {
 	plat := cluster.NewPlatform(2, 4)
-	e := PredictSGD(1000, 64, plat)
+	e := PredictSGD(100, 1000, 64, plat)
 	if e.PathWords != 128 {
 		t.Fatalf("SGD words %v", e.PathWords)
 	}
@@ -153,10 +153,26 @@ func TestPredictSGD(t *testing.T) {
 	}
 }
 
+// TestMemoryEquationBaselines pins the corrected per-rank resident-set
+// formulas of the baseline predictors: the dense iteration holds its M×N/P
+// column block plus the M-length partial product, and SGD holds the full
+// M×N data matrix on every rank plus the batch buffer. Both are the
+// allocmodel polynomials in words (TestPerfMemoryAgreesWithCapacityModel
+// in internal/lint pins the byte-level agreement).
+func TestMemoryEquationBaselines(t *testing.T) {
+	plat := cluster.NewPlatform(2, 4) // P = 8
+	if e, want := PredictDense(100, 6400, plat), 100.0*6400/8+100; e.MemoryWordsPerRank != want {
+		t.Fatalf("dense memory %v, want %v", e.MemoryWordsPerRank, want)
+	}
+	if e, want := PredictSGD(100, 6400, 64, plat), 100.0*6400+64; e.MemoryWordsPerRank != want {
+		t.Fatalf("sgd memory %v, want %v", e.MemoryWordsPerRank, want)
+	}
+}
+
 func TestMemoryEquation(t *testing.T) {
 	plat := cluster.NewPlatform(8, 8) // P = 64
 	e := PredictTransformed(100, 6400, 50, 32000, plat)
-	want := 100.0*50 + 32000.0/64 + 6400.0/64
+	want := 100.0*50 + 2*32000.0/64 + 6400.0/64 + 100 + 2*50 + 1
 	if e.MemoryWordsPerRank != want {
 		t.Fatalf("memory %v, want %v", e.MemoryWordsPerRank, want)
 	}

@@ -96,8 +96,8 @@ func TestCommunicationCapAtM(t *testing.T) {
 
 func TestSGDWordsIndependentOfM(t *testing.T) {
 	plat := cluster.NewPlatform(2, 4)
-	a := PredictSGD(1000, 64, plat)
-	b := PredictSGD(5000, 64, plat)
+	a := PredictSGD(100, 1000, 64, plat)
+	b := PredictSGD(100, 5000, 64, plat)
 	if a.PathWords != b.PathWords {
 		t.Fatal("SGD words must depend only on the batch size")
 	}

@@ -55,7 +55,7 @@ go run ./cmd/extdict-lint -sarif extdict-lint.sarif ./...
 echo "== SARIF report carries the concurrency rules"
 # The uploaded report must advertise the whole suite — a stale binary or a
 # narrowed run would silently drop the newest analyzers' rule metadata.
-for rule in sharedstate lockorder detorder; do
+for rule in sharedstate lockorder detorder allocmodel; do
     if ! grep -q "\"id\": \"$rule\"" extdict-lint.sarif; then
         echo "extdict-lint.sarif lacks rule metadata for $rule" >&2
         exit 1
@@ -80,6 +80,12 @@ echo "== extdict-lint -checks memmodel (tree must be memory-model clean)"
 # guarantee explicit even if someone narrows the run above.
 go run ./cmd/extdict-lint -checks memmodel ./...
 
+echo "== extdict-lint -checks allocmodel (tree must be capacity-model clean)"
+# The capacity report's fits/needs-out-of-core verdicts evaluate the proven
+# resident-set polynomials; an unproven AddResident claim would make them
+# claims about nothing. Kept explicit like the memmodel assert above.
+go run ./cmd/extdict-lint -checks allocmodel ./...
+
 echo "== extdict-lint -trace (static schedule must match the golden)"
 # The schedule analyzer's static collective traces are a reviewed artifact:
 # any drift in an operator's reduce/broadcast schedule must be deliberate.
@@ -98,6 +104,18 @@ go run ./cmd/extdict-lint -checks memmodel -roofline "$tmpdir/roofline.json" ./.
 if ! diff -u internal/lint/testdata/roofline.golden.json "$tmpdir/roofline.json"; then
     echo "extdict-lint: static roofline drifted; if intended, regenerate with" >&2
     echo "  go run ./cmd/extdict-lint -checks memmodel -roofline internal/lint/testdata/roofline.golden.json ./..." >&2
+    exit 1
+fi
+
+echo "== extdict-lint -capacity (static capacity report must match the golden)"
+# The capacity report — per-entry-point peak-resident polynomials at the
+# documented reference shapes, classified against per-rank RAM — is a
+# reviewed artifact like the roofline: a changed allocation contract or
+# capacity must be deliberate.
+go run ./cmd/extdict-lint -checks allocmodel -capacity "$tmpdir/capacity.json" ./...
+if ! diff -u internal/lint/testdata/capacity.golden.json "$tmpdir/capacity.json"; then
+    echo "extdict-lint: static capacity report drifted; if intended, regenerate with" >&2
+    echo "  go run ./cmd/extdict-lint -checks allocmodel -capacity internal/lint/testdata/capacity.golden.json ./..." >&2
     exit 1
 fi
 
