@@ -9,7 +9,8 @@
 //	extdict-bench -exp all -scale 0.5    # everything, half-size datasets
 //	extdict-bench -json -exp fig4,fig7,tab2 -scale 0.5 > BENCH_PR6.json
 //
-// Experiments: fig4 fig5 fig6 tab2 fig7 tab3 fig8 fig9 fig10 fig11 fig12.
+// Experiments: fig4 fig5 fig6 tab2 fig7 tab3 fig8 fig9 fig10 fig11 fig12
+// serve (the batch-coalescing encode server under concurrent load).
 package main
 
 import (
@@ -61,7 +62,7 @@ type jsonExperiment struct {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("extdict-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (fig4..fig12, tab2, tab3) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (fig4..fig12, tab2, tab3, serve) or 'all'")
 	scale := fs.Float64("scale", 1, "dataset size multiplier (1 = paper-shaped laptop scale)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "preprocessing workers (0 = GOMAXPROCS)")

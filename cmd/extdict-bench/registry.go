@@ -143,5 +143,6 @@ func registry(trials, components int) map[string]runner {
 			}
 			return tableOnly(r.Table()), nil
 		},
+		"serve": runServe,
 	}
 }

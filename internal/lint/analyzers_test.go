@@ -20,6 +20,8 @@ func TestNoClockFixture(t *testing.T) {
 func TestGoroutinesFixture(t *testing.T) {
 	runFixture(t, Goroutines, fixturePath("goroutines", "bad.go"), "extdict/internal/dist")
 	runFixture(t, Goroutines, fixturePath("goroutines", "allowed.go"), "extdict/internal/mat")
+	// serve owns the batcher and accept-loop goroutines.
+	runFixture(t, Goroutines, fixturePath("goroutines", "allowed.go"), "extdict/internal/serve")
 }
 
 func TestFlopAuditFixture(t *testing.T) {
@@ -105,6 +107,9 @@ func TestSuppressionFixture(t *testing.T) {
 
 func TestSharedStateFixture(t *testing.T) {
 	runFixture(t, SharedState, fixturePath("sharedstate", "fixture.go"), "extdict/internal/mat")
+	// The serving layer's sharing shapes: snapshot pointers, request
+	// hand-off with a done barrier, and the drain protocol.
+	runFixture(t, SharedState, fixturePath("sharedstate", "serve.go"), "extdict/internal/serve")
 }
 
 func TestLockOrderFixture(t *testing.T) {

@@ -29,6 +29,14 @@ var ompHotCallNames = map[string]bool{
 	"Encode": true, "gramRow": true, "Axpy": true, "Dot": true,
 }
 
+// serveHotCallNames mark internal/serve's hot loop: the batcher's panel
+// loop runs once per coalesced batch of live requests, so a loop that codes
+// a panel is the serving layer's steady state and must reuse its request
+// and column scratch instead of allocating per batch.
+var serveHotCallNames = map[string]bool{
+	"Encode": true, "EncodePanel": true, "encodeBatch": true,
+}
+
 // HotAlloc flags per-iteration allocation in the hot regions of
 // internal/dist, internal/solver, and internal/omp. A hot region is either
 //
@@ -36,7 +44,8 @@ var ompHotCallNames = map[string]bool{
 //     per operator application — the innermost distributed step), or
 //   - the body of a for/range loop that directly contains a hot call
 //     (.Apply, .AddFlops, .AddBytes, or a collective in dist/solver; the
-//     batch-coding kernels .Encode, .gramRow, .Axpy, .Dot in omp) —
+//     batch-coding kernels .Encode, .gramRow, .Axpy, .Dot in omp; the
+//     panel-coding calls .Encode, .EncodePanel, .encodeBatch in serve) —
 //     "directly" meaning not through a nested loop's body, so an outer
 //     driver loop whose iteration work happens only inside inner loops is
 //     setup, not hot.
@@ -52,14 +61,17 @@ var HotAlloc = &Analyzer{
 	Name:      "hotalloc",
 	SkipTests: true,
 	Doc: "forbid per-iteration allocation (make/new/append, nil-destination " +
-		"kernels, interface boxing) in internal/dist, internal/solver, and " +
-		"internal/omp hot regions; hoist buffers into setup or struct scratch fields",
+		"kernels, interface boxing) in internal/dist, internal/solver, " +
+		"internal/omp, and internal/serve hot regions; hoist buffers into " +
+		"setup or struct scratch fields",
 	Run: func(p *Pass) {
 		hot := hotCallNames
 		switch {
 		case inAnyPkg(p.Pkg.ImportPath, "extdict/internal/dist", "extdict/internal/solver"):
 		case inAnyPkg(p.Pkg.ImportPath, "extdict/internal/omp"):
 			hot = ompHotCallNames
+		case inAnyPkg(p.Pkg.ImportPath, "extdict/internal/serve"):
+			hot = serveHotCallNames
 		default:
 			return
 		}

@@ -1,0 +1,134 @@
+// Package fixture (serve.go) exercises sharedstate on the serving layer's
+// sharing shapes: epoch-swapped snapshots behind an atomic pointer, request
+// ownership transfer over a bounded channel with a done-channel barrier,
+// and the closed-vs-send drain protocol under one mutex. The safe forms at
+// the bottom mirror internal/serve and must stay quiet; the top half shows
+// each protocol broken by one missing piece.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// coderReq is the fixture's request: batcher-written fields published by
+// closing done.
+type coderReq struct {
+	signal []float64
+	res    float64
+	done   chan struct{}
+}
+
+var reqMu sync.Mutex
+
+// resultBeforeBarrier keeps the request as a shared struct value instead
+// of handing a pointer over a channel, then reads the batcher's result
+// field before the done barrier publishes it.
+func resultBeforeBarrier() float64 {
+	req := coderReq{signal: []float64{1, 2}, done: make(chan struct{})}
+	go func() {
+		req.res = req.signal[0] + req.signal[1] // want "captured req.res is written inside a goroutine without a lock"
+		close(req.done)
+	}()
+	r := req.res
+	<-req.done
+	return r
+}
+
+// statsRace bumps a serving counter plainly from the batcher while the
+// submitter also writes it — the shape shardStats avoids with atomics.
+func statsRace() int {
+	encoded := 0
+	done := make(chan struct{})
+	go func() {
+		encoded++ // want "captured encoded is written inside a goroutine without a lock"
+		close(done)
+	}()
+	encoded++
+	<-done
+	return encoded
+}
+
+// drainRaceUnguarded closes the queue under the mutex but submits without
+// it — the exact send-on-closed-channel race shard.submit's lock prevents.
+func drainRaceUnguarded(reqCh chan coderReq) bool {
+	closed := false
+	go func() {
+		reqMu.Lock()
+		closed = true
+		close(reqCh)
+		reqMu.Unlock()
+	}()
+	if closed { // want "captured closed is written by a goroutine but read here before any barrier"
+		return false
+	}
+	reqCh <- coderReq{}
+	return true
+}
+
+// --- safe serving-layer patterns: none of these may produce findings -----
+
+// snapshotSwap publishes immutable snapshots through an atomic pointer:
+// the batcher loads, the reloader stores, nobody locks — the pointer IS
+// the synchronization.
+func snapshotSwap(fresh *[]float64) []float64 {
+	var snap atomic.Pointer[[]float64]
+	base := []float64{1}
+	snap.Store(&base)
+	done := make(chan struct{})
+	go func() {
+		_ = *snap.Load()
+		close(done)
+	}()
+	snap.Store(fresh)
+	<-done
+	return *snap.Load()
+}
+
+// requestHandOff transfers request ownership over the queue channel; the
+// batcher writes the result and the done close publishes it back.
+func requestHandOff(queue chan *coderReq) float64 {
+	go func() {
+		for r := range queue {
+			r.res = r.signal[0]
+			close(r.done)
+		}
+	}()
+	req := &coderReq{signal: []float64{5}, done: make(chan struct{})}
+	queue <- req
+	<-req.done
+	return req.res
+}
+
+// guardedDrain holds one mutex across the closed check and the send on
+// both sides — shard.submit versus shard.close.
+func guardedDrain(reqCh chan coderReq) bool {
+	closed := false
+	done := make(chan struct{})
+	go func() {
+		reqMu.Lock()
+		closed = true
+		close(reqCh)
+		reqMu.Unlock()
+		close(done)
+	}()
+	reqMu.Lock()
+	ok := !closed
+	if ok {
+		reqCh <- coderReq{}
+	}
+	reqMu.Unlock()
+	<-done
+	return ok
+}
+
+// frozenConfig is the batcher's view of its shard config: written only
+// before the launch, read-only ever after.
+func frozenConfig() int {
+	batchMax := 8
+	out := make(chan int, 1)
+	go func() {
+		out <- batchMax * 2
+	}()
+	return <-out
+}

@@ -219,6 +219,32 @@ func (bc *BatchCoder) Encode(a []float64, tol float64, maxAtoms int, ws *Workspa
 	return res
 }
 
+// EncodePanel codes an ad-hoc panel of signals — each cols[i] a length-M
+// column — in parallel across `workers` chunks of the shared mat worker
+// pool, returning one Result per column in input order. It is the serving
+// layer's batch entry: the request batcher coalesces independent client
+// signals into one panel so the precomputed Gram structures amortize across
+// users, without copying the signals into a Dense first. Columns are coded
+// independently (each gets a fresh-reset workspace), so the results are
+// bit-identical to coding the same columns one at a time, at any worker
+// count.
+func (bc *BatchCoder) EncodePanel(cols [][]float64, tol float64, maxAtoms, workers int) []Result {
+	out := make([]Result, len(cols))
+	if len(cols) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	mat.ParallelChunks(len(cols), workers, func(_, lo, hi int) {
+		ws := &Workspace{}
+		for j := lo; j < hi; j++ {
+			out[j] = bc.Encode(cols[j], tol, maxAtoms, ws)
+		}
+	})
+	return out
+}
+
 // EncodeColumns codes every column of a (M×N) in parallel across `workers`
 // chunks of the shared mat worker pool and assembles the coefficient matrix
 // C (L×N) such that A ≈ D·C. It returns C and the total number of OMP

@@ -201,6 +201,58 @@ func PredictSGD(m, n, batch int, plat cluster.Platform) Estimate {
 	return e
 }
 
+// PredictEncodeBatch predicts the cost of Batch-OMP-coding a panel of
+// `batch` signals against an M×L dictionary with support cap maxAtoms on
+// the platform, whose P cores the panel parallelizes across (columns are
+// independent, so the critical path carries ⌈batch/P⌉ of them). It is the
+// serving layer's admission model: the same Eq. 2 shape as the solver
+// predictions — flops at the achieved dense rate plus streamed bytes at
+// memory bandwidth — with no collective terms, since coding touches no
+// cluster.
+//
+// Per signal, Batch-OMP costs (Rubinstein et al., the implementation in
+// internal/omp):
+//
+//	flops ≈ 2·M·L  (initial correlations α⁰ = Dᵀa)
+//	      + k·(k+1)·L  (the α update re-applies i Gram-row axpys at step i)
+//	      + k³  (progressive Cholesky growth and triangular solves, bound)
+//	bytes ≈ 8·(M·L + M + L)  (streaming D once for α⁰)
+//	      + 12·k·(k+1)·L  (the axpys re-stream 24 bytes per element)
+//
+// with k = min(maxAtoms, M, L). Both are upper bounds — early residual
+// convergence only shrinks them — which is the right sign for an admission
+// controller: it sheds on the modeled worst case, never accepts on it.
+//
+// MemoryWordsPerRank is the serving-side Eq. 4 analogue: the resident
+// dictionary M·L, its precomputed Gram L², the batch's signals batch·M,
+// and the per-worker α/α⁰/selection workspace ≈ 3·L.
+func PredictEncodeBatch(m, l, batch, maxAtoms int, plat cluster.Platform) Estimate {
+	if batch < 0 {
+		batch = 0
+	}
+	k := float64(min(m, l))
+	if maxAtoms > 0 && float64(maxAtoms) < k {
+		k = float64(maxAtoms)
+	}
+	mf, lf := float64(m), float64(l)
+	perFlops := 2*mf*lf + k*(k+1)*lf + k*k*k
+	perBytes := 8*(mf*lf+mf+lf) + 12*k*(k+1)*lf
+
+	p := float64(plat.Topology.P())
+	critCols := math.Ceil(float64(batch) / p)
+	e := Estimate{
+		FlopsCritical: critCols * perFlops,
+		FlopsTotal:    float64(batch) * perFlops,
+		BytesCritical: critCols * perBytes,
+		BytesTotal:    float64(batch) * perBytes,
+	}
+	c := plat.Cost
+	e.Time = e.FlopsCritical*c.FlopTime + e.BytesCritical*c.MemByteTime
+	e.EnergyJ = e.FlopsTotal * c.FlopEnergy
+	e.MemoryWordsPerRank = mf*lf + lf*lf + float64(batch)*mf + 3*lf
+	return e
+}
+
 // RetryBackoff is the modeled recovery pause before retry number attempt
 // (0-based) of a supervised solve: base·2^attempt virtual seconds of
 // exponential backoff. The solver Supervisor charges it to the run's

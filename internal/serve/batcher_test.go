@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"extdict/internal/cluster"
+	"extdict/internal/cluster/clustertest"
+	"extdict/internal/mat"
+	"extdict/internal/omp"
+	"extdict/internal/rng"
+)
+
+// newVirtualShard builds a shard driven by a VirtualClock and starts its
+// batcher, returning both plus a cleanup that drains it.
+func newVirtualShard(t *testing.T, d *mat.Dense, cfg Config) (*shard, *VirtualClock) {
+	t.Helper()
+	vc := NewVirtualClock(1024)
+	cfg.Clock = vc
+	cfg.BatchWindow = time.Hour // never fires on its own; the test drives it
+	cfg = cfg.withDefaults()
+	sh := newShard("d", d, &cfg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sh.run()
+	}()
+	t.Cleanup(func() {
+		sh.close()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				vc.TryFireNext()
+				runtime.Gosched()
+			}
+		}
+	})
+	return sh, vc
+}
+
+// submitN submits n fresh requests built from the signal stream and returns
+// them. Every submit must be accepted.
+func submitN(t *testing.T, sh *shard, r *rng.RNG, n int) []*request {
+	t.Helper()
+	reqs := make([]*request, n)
+	for i := range reqs {
+		reqs[i] = &request{kind: kindEncode, signal: randSignal(r, sh.rows), done: make(chan struct{})}
+		if _, err := sh.submit(reqs[i]); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	return reqs
+}
+
+// waitDrained spins until the batcher has consumed every queued request, so
+// a subsequent window fire deterministically closes the current panel.
+func waitDrained(sh *shard) {
+	for len(sh.reqCh) > 0 {
+		runtime.Gosched()
+	}
+}
+
+// completeAll fires virtual windows until every request in reqs has been
+// answered.
+func completeAll(t *testing.T, vc *VirtualClock, reqs []*request) {
+	t.Helper()
+	clustertest.Watchdog(t, func() {
+		for _, r := range reqs {
+			for {
+				select {
+				case <-r.done:
+				default:
+					vc.TryFireNext()
+					runtime.Gosched()
+					continue
+				}
+				break
+			}
+		}
+	})
+}
+
+// TestBatcherMatchesSerialUnderSeededArrivals is the core batching
+// property: for seeded arrival patterns, every coalesced panel's results
+// are bit-identical to coding the same signals one at a time, batch sizes
+// never exceed BatchMax, and every accepted request is answered.
+func TestBatcherMatchesSerialUnderSeededArrivals(t *testing.T) {
+	const batchMax = 4
+	r := rng.New(101)
+	d := unitDictionary(r, 16, 48)
+	ref := omp.NewBatchCoder(d)
+	ws := &omp.Workspace{}
+
+	for trial := 0; trial < 20; trial++ {
+		sh, vc := newVirtualShard(t, d, Config{BatchMax: batchMax, QueueCap: 64, Tol: 0.05, Workers: 2})
+		var all []*request
+		// A seeded arrival pattern: bursts of 1..2·batchMax requests, each
+		// burst flushed by the virtual window after the queue drains.
+		for burst := 0; burst < 4; burst++ {
+			n := 1 + r.Intn(2*batchMax)
+			reqs := submitN(t, sh, r, n)
+			waitDrained(sh)
+			vc.TryFireNext()
+			all = append(all, reqs...)
+		}
+		completeAll(t, vc, all)
+
+		for i, req := range all {
+			if req.batch < 1 || req.batch > batchMax {
+				t.Fatalf("trial %d: request %d rode a panel of %d columns (max %d)", trial, i, req.batch, batchMax)
+			}
+			want := ref.Encode(req.signal, 0.05, 0, ws)
+			if req.res.Iters != want.Iters ||
+				math.Float64bits(req.res.Resid2) != math.Float64bits(want.Resid2) {
+				t.Fatalf("trial %d: request %d differs from serial encode", trial, i)
+			}
+			for k := range want.Idx {
+				if req.res.Idx[k] != want.Idx[k] ||
+					math.Float64bits(req.res.Coef[k]) != math.Float64bits(want.Coef[k]) {
+					t.Fatalf("trial %d: request %d coef/idx differ from serial encode", trial, i)
+				}
+			}
+		}
+		if got := sh.inflight.Load(); got != 0 {
+			t.Fatalf("trial %d: %d requests still in flight after completion", trial, got)
+		}
+		var coded int64
+		for b1 := range sh.stats.hist {
+			n := sh.stats.hist[b1].Load()
+			coded += int64(b1+1) * n
+		}
+		if coded != int64(len(all)) {
+			t.Fatalf("trial %d: histogram codes %d signals, want %d", trial, coded, len(all))
+		}
+	}
+}
+
+// TestBatcherFullPanelWithoutWindow proves BatchMax alone closes a panel:
+// submitting exactly BatchMax requests completes them with no window fire.
+func TestBatcherFullPanelWithoutWindow(t *testing.T) {
+	r := rng.New(55)
+	d := unitDictionary(r, 8, 24)
+	sh, _ := newVirtualShard(t, d, Config{BatchMax: 4, QueueCap: 64})
+	reqs := submitN(t, sh, r, 4)
+	clustertest.Watchdog(t, func() {
+		for _, req := range reqs {
+			<-req.done
+		}
+	})
+	for _, req := range reqs {
+		if req.batch != 4 {
+			t.Fatalf("batch %d, want the full panel of 4", req.batch)
+		}
+	}
+}
+
+// TestAdmissionTraceReplays proves admission is a pure function of the
+// submit sequence: two fresh shards driven with the same seeded signals
+// produce bitwise-identical accept/shed decisions and modeled latencies.
+func TestAdmissionTraceReplays(t *testing.T) {
+	const n = 40
+	d := unitDictionary(rng.New(5), 16, 48)
+	plat := cluster.NewPlatform(1, 4)
+	// A budget that the model itself crosses at depth 21, so the trace has a
+	// real accept→shed transition whatever the platform constants are.
+	budget := time.Duration(ModeledLatency(d.Rows, d.Cols, 20, n, 0, plat) * float64(time.Second))
+
+	type decision struct {
+		modeledBits uint64
+		err         error
+	}
+	drive := func() []decision {
+		// BatchMax ≥ n keeps the batcher waiting on the (never-fired)
+		// window, so queue depth during the submit run is exactly the
+		// accepted count — deterministic.
+		sh, _ := newVirtualShard(t, d, Config{
+			BatchMax: n, QueueCap: n, LatencyBudget: budget, Platform: plat,
+		})
+		r := rng.New(77)
+		trace := make([]decision, n)
+		for i := range trace {
+			req := &request{kind: kindEncode, signal: randSignal(r, sh.rows), done: make(chan struct{})}
+			waitDrained(sh)
+			m, err := sh.submit(req)
+			trace[i] = decision{modeledBits: math.Float64bits(m), err: err}
+		}
+		return trace
+	}
+
+	a, b := drive(), drive()
+	accepted, shed := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between replays: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].err != nil {
+			shed++
+		} else {
+			accepted++
+		}
+	}
+	if accepted == 0 || shed == 0 {
+		t.Fatalf("schedule should mix accepts and sheds: %d accepted, %d shed", accepted, shed)
+	}
+}
+
+// TestQueueCapSheds proves the queue bound: with no batcher draining the
+// channel, exactly QueueCap submits are accepted and the rest shed with
+// ErrShedQueue — a deterministic count.
+func TestQueueCapSheds(t *testing.T) {
+	const qcap = 4
+	r := rng.New(23)
+	d := unitDictionary(r, 8, 24)
+	cfg := (Config{QueueCap: qcap}).withDefaults()
+	sh := newShard("d", d, &cfg) // run() never started: the queue only fills
+
+	shed := 0
+	for i := 0; i < 3*qcap; i++ {
+		req := &request{kind: kindEncode, signal: randSignal(r, sh.rows), done: make(chan struct{})}
+		if _, err := sh.submit(req); err == ErrShedQueue {
+			shed++
+		} else if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if shed != 2*qcap {
+		t.Fatalf("shed %d submits, want exactly %d", shed, 2*qcap)
+	}
+	if got := sh.stats.shedQueue.Load(); got != int64(shed) {
+		t.Fatalf("shedQueue counter %d, want %d", got, shed)
+	}
+}
+
+// TestDrainCompletesAcceptedRequests proves the no-drop guarantee: close
+// mid-fill and every accepted request still gets coded — without any window
+// fire — while later submits fail with ErrClosed.
+func TestDrainCompletesAcceptedRequests(t *testing.T) {
+	r := rng.New(31)
+	d := unitDictionary(r, 8, 24)
+	sh, _ := newVirtualShard(t, d, Config{BatchMax: 16, QueueCap: 64})
+
+	reqs := submitN(t, sh, r, 5)
+	sh.close()
+	clustertest.Watchdog(t, func() {
+		for _, req := range reqs {
+			<-req.done
+		}
+	})
+	for i, req := range reqs {
+		if len(req.res.Idx) == 0 && req.res.Iters == 0 {
+			t.Fatalf("request %d drained without being coded", i)
+		}
+	}
+	late := &request{kind: kindEncode, signal: randSignal(r, sh.rows), done: make(chan struct{})}
+	if _, err := sh.submit(late); err != ErrClosed {
+		t.Fatalf("post-drain submit: %v, want ErrClosed", err)
+	}
+}

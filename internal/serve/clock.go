@@ -1,0 +1,66 @@
+package serve
+
+import "time"
+
+// Clock abstracts the batching-window timer so the server never reads the
+// host clock directly (the noclock invariant: wall time belongs to
+// internal/cluster and internal/perf). The batcher only needs "a channel
+// that fires once d has elapsed"; production uses WallClock, tests inject a
+// VirtualClock and fire the windows by hand, which makes batch composition
+// — and therefore the admission trace — a deterministic function of the
+// driven schedule instead of the host's timer resolution.
+type Clock interface {
+	// After returns a channel that delivers one value once d has elapsed.
+	// The returned channel is never closed and fires at most once.
+	After(d time.Duration) <-chan time.Time
+}
+
+// WallClock is the production Clock: real timers from the time package
+// (timer creation is not a clock read; only Now/Since/Until are barred).
+type WallClock struct{}
+
+// After returns time.After(d).
+func (WallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// VirtualClock is a manually driven Clock for deterministic tests: After
+// registers a pending timer and returns immediately; nothing fires until
+// the test calls FireNext. Timers fire in registration order. A timer whose
+// batch already filled up (the batcher abandoned the channel) fires into a
+// one-slot buffer and is harmlessly dropped.
+type VirtualClock struct {
+	timers chan chan time.Time
+}
+
+// NewVirtualClock returns a VirtualClock with room for `pending` registered
+// but unfired timers (registration past that blocks, which a test driving
+// the clock should treat as a bug in its schedule).
+func NewVirtualClock(pending int) *VirtualClock {
+	return &VirtualClock{timers: make(chan chan time.Time, pending)}
+}
+
+// After registers a pending timer; the duration is ignored — virtual time
+// advances only through FireNext.
+func (c *VirtualClock) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.timers <- ch
+	return ch
+}
+
+// FireNext fires the oldest registered timer, blocking until one has been
+// registered.
+func (c *VirtualClock) FireNext() {
+	ch := <-c.timers
+	ch <- time.Time{}
+}
+
+// TryFireNext fires the oldest registered timer if any is pending and
+// reports whether one fired.
+func (c *VirtualClock) TryFireNext() bool {
+	select {
+	case ch := <-c.timers:
+		ch <- time.Time{}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,194 @@
+// Package serve is ExtDict-as-a-service: a long-running HTTP server that
+// holds hot dictionaries in memory as epoch-swapped immutable snapshots and
+// answers encode/denoise traffic from many concurrent clients.
+//
+// The core trick is request coalescing: each dictionary shard runs one
+// batcher goroutine that accumulates queued requests up to a batching
+// window or a panel-size cap and codes them in a single omp.BatchCoder pass
+// — the server queue becomes the batch dimension, so the blocked
+// ParATA/ParMulVec kernels amortize across users exactly as they amortize
+// across columns in a batch run. Admission is the paper's performance model
+// turned live scheduler: every submit prices the queue with the Eq. 2
+// encode prediction (perf.PredictEncodeBatch) and sheds with 429 when the
+// modeled completion latency exceeds the configured budget.
+//
+// Concurrency shape (machine-checked by extdict-lint's sharedstate /
+// lockorder analyzers): snapshots are immutable and published through an
+// atomic pointer, so the encode path takes no lock; requests transfer
+// ownership over a bounded channel; the only mutex on the request path
+// guards the closed-vs-send race during drain. Wall time never enters the
+// package — the batching window comes from an injected Clock, keeping the
+// noclock invariant and making batch composition test-controllable.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"extdict/internal/cluster"
+	"extdict/internal/mat"
+)
+
+// Config tunes the serving layer. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// BatchWindow is the maximum time the batcher waits to coalesce a
+	// panel after its first request arrives (default 2ms).
+	BatchWindow time.Duration
+	// BatchMax caps the columns per coded panel (default 32).
+	BatchMax int
+	// QueueCap bounds each shard's queued-request count; submits beyond it
+	// shed with 429 (default 256).
+	QueueCap int
+	// LatencyBudget sheds requests whose modeled completion latency
+	// (ModeledLatency at the current queue depth) exceeds it. Zero
+	// disables latency shedding; the queue cap still bounds load.
+	LatencyBudget time.Duration
+	// Tol is the OMP relative residual tolerance (default 0.1).
+	Tol float64
+	// MaxAtoms caps the OMP support size (0 = min(M, L)).
+	MaxAtoms int
+	// Workers is the panel-encode parallelism over the shared mat pool
+	// (0 = mat.Workers).
+	Workers int
+	// Platform prices the admission model's Eq. 2 terms. The zero value
+	// becomes a single node with mat.Workers cores — the process itself.
+	Platform cluster.Platform
+	// Clock injects the batching-window timer (nil = WallClock). Tests
+	// substitute a VirtualClock to drive batch composition by hand.
+	Clock Clock
+}
+
+// withDefaults returns cfg with every unset field at its default.
+func (c Config) withDefaults() Config {
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax < 1 {
+		c.BatchMax = 32
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 256
+	}
+	if c.Tol <= 0 {
+		c.Tol = 0.1
+	}
+	if c.Workers < 1 {
+		c.Workers = mat.Workers
+	}
+	if c.Platform.Topology.P() < 1 {
+		c.Platform = cluster.NewPlatform(1, mat.Workers)
+	}
+	if c.Clock == nil {
+		c.Clock = WallClock{}
+	}
+	return c
+}
+
+// Server serves one or more dictionaries over HTTP. Construct with New,
+// mount Mux on an http.Server (or use Start), and Close to drain.
+type Server struct {
+	cfg    Config
+	shards map[string]*shard // frozen after New
+	names  []string          // sorted shard names, frozen after New
+	mux    *http.ServeMux
+	wg     sync.WaitGroup
+}
+
+// New builds a server holding the given dictionaries (name → M×L matrix
+// with unit-norm columns; the server takes ownership — callers must not
+// mutate a dictionary after handing it over) and starts one batcher
+// goroutine per shard. Close releases them.
+func New(dicts map[string]*mat.Dense, cfg Config) (*Server, error) {
+	if len(dicts) == 0 {
+		return nil, fmt.Errorf("serve: no dictionaries to serve")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		shards: make(map[string]*shard, len(dicts)),
+		names:  make([]string, 0, len(dicts)),
+	}
+	for name := range dicts {
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	for _, name := range s.names {
+		d := dicts[name]
+		if name == "" {
+			return nil, fmt.Errorf("serve: empty dictionary name")
+		}
+		if d == nil || d.Rows < 1 || d.Cols < 1 {
+			return nil, fmt.Errorf("serve: dictionary %q is empty", name)
+		}
+		s.shards[name] = newShard(name, d, &s.cfg)
+	}
+	s.mux = s.routes()
+	for _, name := range s.names {
+		sh := s.shards[name]
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sh.run()
+		}()
+	}
+	return s, nil
+}
+
+// Names returns the served dictionary names in sorted order.
+func (s *Server) Names() []string { return s.names }
+
+// shardFor resolves a request's dictionary name; an empty name selects the
+// single loaded dictionary when there is exactly one.
+func (s *Server) shardFor(name string) (*shard, error) {
+	if name == "" {
+		if len(s.names) == 1 {
+			name = s.names[0]
+		} else {
+			return nil, fmt.Errorf("serve: request names no dictionary and %d are loaded; set \"dict\"", len(s.names))
+		}
+	}
+	sh, ok := s.shards[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown dictionary %q", name)
+	}
+	return sh, nil
+}
+
+// Swap hot-reloads one dictionary: it precomputes the Gram structures for
+// d outside any lock, then atomically publishes a new snapshot under the
+// next epoch. In-flight panels finish against the snapshot they loaded;
+// every response names the epoch that coded it. The server takes ownership
+// of d. Returns the new epoch.
+func (s *Server) Swap(name string, d *mat.Dense) (uint64, error) {
+	sh, err := s.shardFor(name)
+	if err != nil {
+		return 0, err
+	}
+	return sh.swap(d)
+}
+
+// Epoch returns the currently published epoch of one dictionary.
+func (s *Server) Epoch(name string) (uint64, error) {
+	sh, err := s.shardFor(name)
+	if err != nil {
+		return 0, err
+	}
+	return sh.snap.Load().epoch, nil
+}
+
+// Close drains every shard and waits for the batchers to exit. Every
+// request accepted before Close completes normally; submits during and
+// after the drain fail with 503. Idempotent.
+func (s *Server) Close() {
+	for _, name := range s.names {
+		s.shards[name].close()
+	}
+	s.wg.Wait()
+}

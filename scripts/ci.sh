@@ -157,4 +157,47 @@ echo "== extdict-bench -json (report must be machine-readable)"
 # and re-parse it with the Go decoder the tests use.
 go test -run TestJSONOutputParses -count=1 ./cmd/extdict-bench/ >/dev/null
 
+echo "== serve smoke (binary round-trip and clean shutdown)"
+# The serving binary end to end: load a generated dictionary, bind a free
+# loopback port, answer a health probe and one encode round-trip, then
+# drain cleanly on SIGTERM. The in-process variants of this path (listener
+# lifecycle under a leak watchdog, the -race soak) already ran with the
+# test suite above; this gate proves the shipped binary wires them up.
+go run ./cmd/extdict gen -preset salinas -scale 0.05 -out "$tmpdir/dict.edm" >/dev/null
+go build -o "$tmpdir/extdict-serve" ./cmd/extdict-serve
+"$tmpdir/extdict-serve" -dict smoke="$tmpdir/dict.edm" -addr 127.0.0.1:0 \
+    >"$tmpdir/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^serving .* on \([^ ]*\) .*/\1/p' "$tmpdir/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "extdict-serve never reported its listen address:" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/v1/healthz" | grep -q '"status":"ok"'
+m=$(sed -n 's/^loaded smoke: \([0-9]*\)x.*/\1/p' "$tmpdir/serve.log")
+signal=$(seq 1 "$m" | awk '{printf "%s%.3f", (NR > 1 ? "," : ""), $1 / 100}')
+curl -fsS -X POST -d "{\"dict\":\"smoke\",\"signal\":[$signal]}" \
+    "http://$addr/v1/encode" | grep -q '"idx"'
+curl -fsS "http://$addr/v1/statsz" | grep -q '"encoded":1'
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "extdict-serve did not exit cleanly:" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
+grep -q 'draining' "$tmpdir/serve.log"
+
+echo "== serve loadtest (seeded clients, bit-identity against serial encode)"
+# The deterministic closed-loop harness at a small fixed seed: 8 concurrent
+# clients against a live listener, every response compared bit for bit with
+# a serial Batch-OMP reference, latency ordering and batch accounting
+# checked. Zero mismatches is the gate.
+go test -count=1 -run TestLoadAgainstLiveServer ./internal/serve/loadtest/
+
 echo "CI gate passed."
