@@ -8,6 +8,7 @@ import (
 
 	"extdict/internal/cluster"
 	"extdict/internal/dist"
+	"extdict/internal/faust"
 	"extdict/internal/mat"
 	"extdict/internal/matio"
 	"extdict/internal/perf"
@@ -29,6 +30,7 @@ func cmdLasso(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	faults := fs.Uint64("faults", 0, "inject a deterministic fault schedule drawn from this seed and recover through the supervisor (0 = off)")
 	out := fs.String("out", "", "optional path to write the solution vector")
+	spec := transformFlags(fs, eps, raw, sgd, seed)
 	nodes, cores := platformFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +48,7 @@ func cmdLasso(args []string) error {
 	}
 	plat := cluster.NewPlatform(*nodes, *cores)
 
-	build, err := buildOperatorOn(a, plat, *eps, *raw, *sgd, *seed)
+	build, err := buildOperatorOn(a, plat, spec())
 	if err != nil {
 		return err
 	}
@@ -100,6 +102,7 @@ func cmdCluster(args []string) error {
 	eps := fs.Float64("eps", 0.1, "transformation error tolerance")
 	raw := fs.Bool("raw", false, "iterate on the untransformed AᵀA baseline")
 	seed := fs.Uint64("seed", 1, "random seed")
+	spec := transformFlags(fs, eps, raw, nil, seed)
 	nodes, cores := platformFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,7 +115,7 @@ func cmdCluster(args []string) error {
 		return err
 	}
 	plat := cluster.NewPlatform(*nodes, *cores)
-	op, err := buildOperator(a, plat, *eps, *raw, 0, *seed)
+	op, err := buildOperator(a, plat, spec())
 	if err != nil {
 		return err
 	}
@@ -128,25 +131,93 @@ func cmdCluster(args []string) error {
 	return nil
 }
 
+// opSpec collects the operator-selection knobs shared by the solver
+// subcommands: the classic raw/SGD switches plus the transform family and
+// its FastDict chain shape.
+type opSpec struct {
+	eps       float64
+	raw       bool
+	sgdBatch  int
+	seed      uint64
+	transform string // "exd", "fastdict", or "auto"
+	factors   int    // fastdict chain depth (0 = faust default)
+	budget    int    // fastdict per-factor nnz budget (0 = faust default)
+	reuse     int    // iterations the operator amortizes over (auto mode)
+}
+
+// transformFlags registers the operator-family flags and returns a closure
+// assembling the spec after parsing.
+func transformFlags(fs *flag.FlagSet, eps *float64, raw *bool, sgd *int, seed *uint64) func() opSpec {
+	transform := fs.String("transform", "exd", "transformed operator family: exd, fastdict, or auto (modeled-cost choice)")
+	factors := fs.Int("factors", 0, "fastdict: factor-chain depth k (0 = default 4)")
+	budget := fs.Int("nnzbudget", 0, "fastdict: per-factor nnz budget (0 = M·L/(4·k), a 4x compression)")
+	reuse := fs.Int("reuse", 1000, "auto: iterations the factorization cost amortizes over")
+	return func() opSpec {
+		s := opSpec{eps: *eps, seed: *seed, transform: *transform,
+			factors: *factors, budget: *budget, reuse: *reuse}
+		if raw != nil {
+			s.raw = *raw
+		}
+		if sgd != nil {
+			s.sgdBatch = *sgd
+		}
+		return s
+	}
+}
+
 // buildOperatorOn assembles a factory for the requested Gram operator over
 // a. The factory constructs the operator on any communicator, which is what
 // lets the fault supervisor rebuild it on the shrunk survivor communicator
-// after a crash; the expensive tune-and-fit preprocessing runs once, up
-// front, and the factory only re-partitions.
-func buildOperatorOn(a *mat.Dense, plat cluster.Platform, eps float64, raw bool, sgdBatch int, seed uint64) (func(*cluster.Comm) dist.Operator, error) {
+// after a crash; the expensive tune-and-fit (and, for fastdict, PALM
+// factorization) preprocessing runs once, up front, and the factory only
+// re-partitions.
+func buildOperatorOn(a *mat.Dense, plat cluster.Platform, spec opSpec) (func(*cluster.Comm) dist.Operator, error) {
 	switch {
-	case raw:
+	case spec.raw:
 		return func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, a) }, nil
-	case sgdBatch > 0:
-		return func(c *cluster.Comm) dist.Operator { return dist.NewBatchGram(c, a, sgdBatch, seed) }, nil
-	default:
-		tr, _, err := tune.TuneAndFit(a, plat, tune.Config{
-			Epsilon: eps, Workers: runtime.GOMAXPROCS(0), Seed: seed,
+	case spec.sgdBatch > 0:
+		return func(c *cluster.Comm) dist.Operator { return dist.NewBatchGram(c, a, spec.sgdBatch, spec.seed) }, nil
+	}
+	tr, _, err := tune.TuneAndFit(a, plat, tune.Config{
+		Epsilon: spec.eps, Workers: runtime.GOMAXPROCS(0), Seed: spec.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("preprocessed: L=%d alpha=%.3f\n", tr.L(), tr.Alpha())
+
+	family := spec.transform
+	if family == "auto" {
+		choice := tune.ChooseFamily(a.Rows, a.Cols, tr.L(), tr.C.NNZ(), plat, tune.FamilyConfig{
+			Reuse: spec.reuse, Factors: spec.factors, Budget: spec.budget,
+		})
+		family = choice.Family
+		fmt.Printf("auto family: %s (reuse=%d)\n", family, spec.reuse)
+	}
+	switch family {
+	case "raw":
+		return func(c *cluster.Comm) dist.Operator { return dist.NewDenseGram(c, a) }, nil
+	case "fastdict":
+		fd, err := faust.Factorize(tr.D, faust.Options{
+			Factors: spec.factors, Budget: spec.budget, Seed: spec.seed,
 		})
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("preprocessed: L=%d alpha=%.3f\n", tr.L(), tr.Alpha())
+		fmt.Printf("factorized: k=%d nnz(chain)=%d (dense %d), rel-error %.4f\n",
+			fd.Depth(), fd.NNZ(), tr.D.Rows*tr.D.Cols, fd.RelError(tr.D))
+		// Validate the shapes once so the factory cannot fail later.
+		if _, err := dist.NewFastGram(cluster.NewComm(plat), fd, tr.C); err != nil {
+			return nil, err
+		}
+		return func(c *cluster.Comm) dist.Operator {
+			g, err := dist.NewFastGram(c, fd, tr.C)
+			if err != nil {
+				panic(err) // unreachable: shapes validated above
+			}
+			return g
+		}, nil
+	case "exd":
 		// Validate the shapes once so the factory cannot fail later.
 		if _, err := dist.NewExDGram(cluster.NewComm(plat), tr.D, tr.C); err != nil {
 			return nil, err
@@ -159,12 +230,13 @@ func buildOperatorOn(a *mat.Dense, plat cluster.Platform, eps float64, raw bool,
 			return g
 		}, nil
 	}
+	return nil, fmt.Errorf("unknown transform family %q (have exd, fastdict, auto)", spec.transform)
 }
 
 // buildOperator assembles the requested Gram operator over a on a fresh
 // communicator for the given platform.
-func buildOperator(a *mat.Dense, plat cluster.Platform, eps float64, raw bool, sgdBatch int, seed uint64) (dist.Operator, error) {
-	build, err := buildOperatorOn(a, plat, eps, raw, sgdBatch, seed)
+func buildOperator(a *mat.Dense, plat cluster.Platform, spec opSpec) (dist.Operator, error) {
+	build, err := buildOperatorOn(a, plat, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"fmt"
+
+	"extdict/internal/cluster"
+	"extdict/internal/faust"
+	"extdict/internal/sparse"
+)
+
+// FastGram executes Algorithm 2 with the dictionary replaced by a FAµST
+// sparse-factor chain D ≈ S_1·S_2·…·S_k: y = Cᵀ·Dᵀ·D·C·x where both
+// dictionary applications run through the chain at Σ 2·nnz(S_i) flops
+// instead of 2·M·L. The schedule is ExDGram's, case for case:
+//
+//   - Case 1 (L ≤ M): the chain is stored only on rank 0. Ranks reduce the
+//     L-vector v¹ = Σ C_i·x_i to rank 0, which pushes it down and back up
+//     the factor chain alone and broadcasts the L-vector result.
+//
+//   - Case 2 (L > M): the chain is replicated — cheap, because its resident
+//     footprint is the factor payload Σ (2·nnz_i + cols_i + 1) words rather
+//     than M·L. Ranks compute v² = D·(C_i·x_i) through the chain locally,
+//     allreduce the M-vector, and redundantly apply the transposed chain.
+//
+// Communication is identical to ExDGram — 2·min(M, L) words per iteration —
+// so every saving is arithmetic and resident memory.
+type FastGram struct {
+	comm    *cluster.Comm
+	fd      *faust.FastDict
+	blocks  []*sparse.CSC // per-rank column blocks of C
+	ranges  [][2]int      // per-rank column ranges (speed-weighted)
+	nnz     []int64       // per-rank nnz
+	scratch []fastScratch // per-rank buffers; Apply runs allocation-free
+	n       int
+	l, m    int
+
+	// Whole-chain invariants recorded once so every accounting claim is a
+	// constructor-resolved symbol: Σ nnz(S_i), the per-apply vector words
+	// Σ (rows_i + 2·cols_i + 1), the resident words Σ (2·nnz_i + cols_i + 1),
+	// and the widest intermediate the hop buffers must hold.
+	chainNNZ   int64
+	chainVecs  int64
+	chainWords int64
+	inter      int
+}
+
+// fastScratch holds one rank's reusable vectors: the two L-vectors and one
+// M-vector of the ExD schedule plus the two ping-pong hop buffers the chain
+// kernels thread their intermediates through.
+type fastScratch struct {
+	vl1, vl2 []float64
+	vm       []float64
+	c1, c2   []float64
+}
+
+// NewFastGram partitions C by columns and places the factor chain according
+// to the case, exactly as NewExDGram places the dense dictionary.
+func NewFastGram(comm *cluster.Comm, fd *faust.FastDict, c *sparse.CSC) (*FastGram, error) {
+	if err := fd.Check(); err != nil {
+		return nil, fmt.Errorf("dist: bad factor chain: %w", err)
+	}
+	if fd.Cols != c.Rows {
+		return nil, fmt.Errorf("dist: chain is %dx%d but C has %d rows", fd.Rows, fd.Cols, c.Rows)
+	}
+	p := comm.P()
+	g := &FastGram{
+		comm: comm, fd: fd, n: c.Cols, l: fd.Cols, m: fd.Rows,
+		blocks:  make([]*sparse.CSC, p),
+		ranges:  rangesFor(comm, c.Cols),
+		nnz:     make([]int64, p),
+		scratch: make([]fastScratch, p),
+	}
+	g.chainNNZ = g.fd.NNZ()
+	g.chainVecs = g.fd.VecWords()
+	g.chainWords = g.fd.ResidentWords()
+	g.inter = g.fd.MaxInterDim()
+	for i := 0; i < p; i++ {
+		g.blocks[i] = c.ColSliceRange(g.ranges[i][0], g.ranges[i][1])
+		g.nnz[i] = int64(g.blocks[i].NNZ())
+		g.scratch[i] = fastScratch{
+			vl1: make([]float64, g.l),
+			vl2: make([]float64, g.l),
+			vm:  make([]float64, g.m),
+			c1:  make([]float64, g.inter),
+			c2:  make([]float64, g.inter),
+		}
+	}
+	return g, nil
+}
+
+// Dim implements Operator.
+func (g *FastGram) Dim() int { return g.n }
+
+// Name implements Operator.
+func (g *FastGram) Name() string { return "FastD" }
+
+// CaseTwo reports whether the replicated-chain schedule is in use.
+func (g *FastGram) CaseTwo() bool { return g.l > g.m }
+
+// Apply implements Operator.
+func (g *FastGram) Apply(x, y []float64) cluster.Stats {
+	if len(x) != g.n || len(y) != g.n {
+		panic("dist: FastGram.Apply length mismatch")
+	}
+	if g.CaseTwo() {
+		return g.comm.Run(func(r *cluster.Rank) { g.applyCase2(r, x, y) })
+	}
+	return g.comm.Run(func(r *cluster.Rank) { g.applyCase1(r, x, y) })
+}
+
+// applyCase1 is Algorithm 2, Case 1 (L ≤ M): the chain lives on rank 0 only.
+func (g *FastGram) applyCase1(r *cluster.Rank, x, y []float64) {
+	lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
+	blk := g.blocks[r.ID]
+
+	// Resident set (Eq. 4, Case 1): the rank's CSC block — value and
+	// row-index payload 16·nnz_i plus the column-pointer array — and its
+	// constructor scratch (two L-vectors, one M-vector, two hop buffers).
+	// The chain itself joins only rank 0's resident set below.
+	r.AddResident(16*g.nnz[r.ID] + 8*(int64(hi-lo)+1) + 16*int64(g.l) + 8*int64(g.m) + 16*int64(g.inter))
+
+	// Step 1: v¹_i = C_i·x_i (sparse: 2·nnz_i flops; traffic is the CSC
+	// payload 16·nnz_i plus the dense vectors and column-pointer array).
+	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
+	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(2*int64(hi-lo)+int64(g.l)+1))
+
+	// Steps 3-4: reduce v¹ to rank 0 (L words on the path).
+	r.Reduce(v1, 0)
+
+	v3 := v1
+	if r.ID == 0 {
+		// Steps 4-5 on rank 0 only: v² = D·v¹ then v³ = Dᵀ·v², both through
+		// the factor chain — Σ 2·nnz(S_i) flops per direction instead of
+		// 2·M·L, and the resident footprint is the chain payload rather
+		// than the M×L dictionary.
+		v2 := g.fd.ParMulVec(v1, g.scratch[r.ID].vm, g.scratch[r.ID].c1, g.scratch[r.ID].c2)
+		g.fd.ParMulVecT(v2, v3, g.scratch[r.ID].c1, g.scratch[r.ID].c2)
+		r.AddFlops(2 * 2 * g.chainNNZ)
+		r.AddBytes(2 * (16*g.chainNNZ + 8*g.chainVecs))
+		r.AddResident(8 * g.chainWords)
+	}
+
+	// Step 6: broadcast v³ (L words).
+	r.Broadcast(v3, 0)
+
+	// Step 7: y_i = C_iᵀ·v³.
+	blk.MulVecT(v3, y[lo:hi])
+	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(int64(g.l)+2*int64(hi-lo)+1))
+}
+
+// applyCase2 is Algorithm 2, Case 2 (L > M): the chain replicated everywhere.
+func (g *FastGram) applyCase2(r *cluster.Rank, x, y []float64) {
+	lo, hi := g.ranges[r.ID][0], g.ranges[r.ID][1]
+	blk := g.blocks[r.ID]
+
+	// Resident set (Eq. 4, Case 2): the rank's CSC block payload and column
+	// pointers plus its constructor scratch, as in Case 1.
+	r.AddResident(16*g.nnz[r.ID] + 8*(int64(hi-lo)+1) + 16*int64(g.l) + 8*int64(g.m) + 16*int64(g.inter))
+
+	// Step 1: v¹_i = C_i·x_i.
+	v1 := blk.MulVec(x[lo:hi], g.scratch[r.ID].vl1)
+	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(2*int64(hi-lo)+int64(g.l)+1))
+
+	// Step 3: v²_i = D·v¹_i through the local chain replica. The replica
+	// joins every rank's resident set — but at the factor payload
+	// 8·Σ (2·nnz_i + cols_i + 1) bytes, not 8·M·L; that cheapness is the
+	// point of replicating a FAµST chain.
+	v2 := g.fd.ParMulVec(v1, g.scratch[r.ID].vm, g.scratch[r.ID].c1, g.scratch[r.ID].c2)
+	r.AddFlops(2 * g.chainNNZ)
+	r.AddBytes(16*g.chainNNZ + 8*g.chainVecs)
+	r.AddResident(8 * g.chainWords)
+
+	// Steps 4-6: v = Σ v²_i, everywhere (M words each way).
+	r.Allreduce(v2)
+
+	// Step 7: y_i = C_iᵀ·(Dᵀ·v) — the transposed-chain multiply is redundant
+	// on every rank, as in ExDGram Case 2, but costs Σ 2·nnz(S_i) here.
+	w := g.fd.ParMulVecT(v2, g.scratch[r.ID].vl2, g.scratch[r.ID].c1, g.scratch[r.ID].c2)
+	r.AddFlops(2 * g.chainNNZ)
+	r.AddBytes(16*g.chainNNZ + 8*g.chainVecs)
+	blk.MulVecT(w, y[lo:hi])
+	r.AddFlops(2 * g.nnz[r.ID])
+	r.AddBytes(16*g.nnz[r.ID] + 8*(int64(g.l)+2*int64(hi-lo)+1))
+}

@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/exd"
+	"extdict/internal/faust"
+	"extdict/internal/mat"
+	"extdict/internal/rng"
+	"extdict/internal/sparse"
+)
+
+// factorizeD turns a fitted transform's dictionary into a factor chain at a
+// generous budget so the operator tests measure the schedule, not the
+// factorization error.
+func factorizeD(t testing.TB, tr *exd.Transform, k, budget int) *faust.FastDict {
+	t.Helper()
+	fd, err := faust.Factorize(tr.D, faust.Options{Factors: k, Budget: budget, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fd
+}
+
+func TestFastGramMatchesSerialBothCases(t *testing.T) {
+	a := testData(t, 30, 120, 3)
+	r := rng.New(4)
+	x := randVec(r, 120)
+
+	for _, l := range []int{20, 80} { // Case 1 (L≤M) and Case 2 (L>M)
+		tr := fitExD(t, a, l, 0.05)
+		fd := factorizeD(t, tr, 3, 30*l)
+		// The serial reference applies the materialized chain, so the test
+		// isolates the distributed schedule from the factorization error.
+		dc := mat.Mul(fd.Dense(), tr.C.Dense())
+		want := dc.MulVecT(dc.MulVec(x, nil), nil)
+
+		for _, plat := range []cluster.Platform{cluster.NewPlatform(1, 1), cluster.NewPlatform(2, 4)} {
+			comm := cluster.NewComm(plat)
+			g, err := NewFastGram(comm, fd, tr.C)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.CaseTwo() != (l > 30) {
+				t.Fatalf("L=%d M=30: CaseTwo=%v", l, g.CaseTwo())
+			}
+			if g.Dim() != 120 || g.Name() != "FastD" {
+				t.Fatal("metadata wrong")
+			}
+			y := make([]float64, 120)
+			applyWatched(t, g, x, y)
+			for i := range want {
+				if math.Abs(y[i]-want[i]) > 1e-8 {
+					t.Fatalf("L=%d %s: mismatch at %d: %v vs %v",
+						l, plat.Topology, i, y[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFastGramCommunicationOptimal(t *testing.T) {
+	// The chain changes the arithmetic, not the schedule: critical-path
+	// words per iteration stay at ExDGram's optimal 2·min(M, L).
+	a := testData(t, 30, 120, 5)
+	x := randVec(rng.New(6), 120)
+	y := make([]float64, 120)
+	plat := cluster.NewPlatform(2, 4)
+
+	small := fitExD(t, a, 16, 0.05) // L=16 < M=30
+	g1, err := NewFastGram(cluster.NewComm(plat), factorizeD(t, small, 3, 200), small.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := applyWatched(t, g1, x, y)
+	if st1.PathWords != 2*16 {
+		t.Fatalf("Case 1 path words %d, want %d", st1.PathWords, 2*16)
+	}
+
+	big := fitExD(t, a, 100, 0.05) // L=100 > M=30
+	g2, err := NewFastGram(cluster.NewComm(plat), factorizeD(t, big, 3, 900), big.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := applyWatched(t, g2, x, y)
+	if st2.PathWords != 2*30 {
+		t.Fatalf("Case 2 path words %d, want %d", st2.PathWords, 2*30)
+	}
+}
+
+func TestFastGramFlopAccounting(t *testing.T) {
+	a := testData(t, 30, 80, 10)
+	tr := fitExD(t, a, 20, 0.05)
+	fd := factorizeD(t, tr, 4, 120)
+	plat := cluster.NewPlatform(1, 4)
+	g, err := NewFastGram(cluster.NewComm(plat), fd, tr.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng.New(11), 80)
+	y := make([]float64, 80)
+	st := applyWatched(t, g, x, y)
+	// Case 1 totals: 4·nnz(C) for the sparse products + 4·Σ nnz(S_i) on
+	// rank 0 — the chain replaces ExDGram's 4·M·L term, which is the whole
+	// point of the operator.
+	want := 4*int64(tr.C.NNZ()) + 4*fd.NNZ()
+	if st.TotalFlops != want {
+		t.Fatalf("flops %d, want %d", st.TotalFlops, want)
+	}
+	if dense := 4*int64(tr.C.NNZ()) + int64(4*30*20); want >= dense {
+		t.Fatalf("chain flops %d not below dense-dictionary flops %d", want, dense)
+	}
+}
+
+func TestFastGramResidentAccounting(t *testing.T) {
+	a := testData(t, 30, 80, 12)
+	tr := fitExD(t, a, 20, 0.05)
+	fd := factorizeD(t, tr, 3, 120)
+	const p = 4
+	plat := cluster.NewPlatform(1, p)
+	g, err := NewFastGram(cluster.NewComm(plat), fd, tr.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng.New(13), 80)
+	y := make([]float64, 80)
+	st := applyWatched(t, g, x, y)
+	if len(st.PeakResidentPerRank) != p {
+		t.Fatalf("runtime reported %d resident ranks, want %d", len(st.PeakResidentPerRank), p)
+	}
+	ranges := WeightedBlockRanges(80, plat.RankSpeeds())
+	for i := 0; i < p; i++ {
+		blk := tr.C.ColSliceRange(ranges[i][0], ranges[i][1])
+		want := 16*int64(blk.NNZ()) + 8*int64(ranges[i][1]-ranges[i][0]+1) +
+			16*20 + 8*30 + 16*int64(fd.MaxInterDim())
+		if i == 0 {
+			// Case 1: the chain payload is resident on rank 0 only.
+			want += 8 * fd.ResidentWords()
+		}
+		if st.PeakResidentPerRank[i] != want {
+			t.Fatalf("rank %d resident %d bytes, want %d", i, st.PeakResidentPerRank[i], want)
+		}
+	}
+}
+
+func TestFastGramRejectsBadInputs(t *testing.T) {
+	a := testData(t, 20, 60, 7)
+	tr := fitExD(t, a, 15, 0.1)
+	comm := cluster.NewComm(cluster.NewPlatform(1, 2))
+
+	wrong := factorizeD(t, tr, 2, 100)
+	wrong.Cols = 14 // breaks both Check and the C-rows agreement
+	if _, err := NewFastGram(comm, wrong, tr.C); err == nil {
+		t.Fatal("malformed chain accepted")
+	}
+
+	ok := factorizeD(t, tr, 2, 100)
+	narrow := &sparse.CSC{Rows: 14, Cols: 10, ColPtr: make([]int, 11)}
+	if _, err := NewFastGram(comm, ok, narrow); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestFastGramDeterministicAcrossWorkers(t *testing.T) {
+	// The parallel chain kernels are bit-identical to serial, so the whole
+	// distributed product must not depend on the pool width.
+	a := testData(t, 24, 70, 16)
+	tr := fitExD(t, a, 40, 0.05)
+	fd := factorizeD(t, tr, 3, 400)
+	x := randVec(rng.New(17), 70)
+	plat := cluster.NewPlatform(2, 2)
+
+	saved := mat.Workers
+	defer func() { mat.Workers = saved }()
+
+	var ref []float64
+	for _, w := range []int{1, 2, 7} {
+		mat.Workers = w
+		g, err := NewFastGram(cluster.NewComm(plat), fd, tr.C)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, 70)
+		applyWatched(t, g, x, y)
+		if ref == nil {
+			ref = append([]float64(nil), y...)
+			continue
+		}
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("workers=%d: y[%d] differs from serial bit pattern", w, i)
+			}
+		}
+	}
+}
+
+func BenchmarkFastGramApply(b *testing.B) {
+	a := testData(b, 96, 1024, 1)
+	tr := fitExD(b, a, 256, 0.1)
+	fd := factorizeD(b, tr, 4, 96*256/16)
+	g, err := NewFastGram(cluster.NewComm(cluster.NewPlatform(2, 4)), fd, tr.C)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randVec(rng.New(2), 1024)
+	y := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Apply(x, y)
+	}
+}

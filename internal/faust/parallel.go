@@ -1,0 +1,122 @@
+package faust
+
+import (
+	"sort"
+
+	"extdict/internal/mat"
+	"extdict/internal/sparse"
+)
+
+// parallelThreshold is the minimum output length worth splitting across the
+// shared pool; below it the chunk bookkeeping costs more than the hop.
+const parallelThreshold = 256
+
+// ParMulVec computes y = (S_1·…·S_k)·x with each hop's output rows split
+// across the shared mat worker pool. Every y[i] receives its column updates
+// in the same ascending-column order the serial scatter kernel uses — each
+// chunk owns a row range and walks all columns, binary-searching the first
+// stored row at or above its range — so the result is bit-identical to
+// MulVec at any worker count.
+func (f *FastDict) ParMulVec(x, y, t1, t2 []float64) []float64 {
+	if len(x) != f.Cols {
+		panic("faust: ParMulVec dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, f.Rows)
+	}
+	if len(y) != f.Rows {
+		panic("faust: ParMulVec output length mismatch")
+	}
+	k := len(f.Factors)
+	cur := x
+	for hop := 0; hop < k-1; hop++ {
+		s := f.Factors[k-1-hop]
+		dst := f.interBuf(hop, &t1, &t2)[:s.Rows]
+		parScatter(s, cur, dst)
+		cur = dst
+	}
+	parScatter(f.Factors[0], cur, y)
+	return y
+}
+
+// ParMulVecT computes y = (S_1·…·S_k)ᵀ·x with each hop's output columns
+// split across the pool. Column j's gather dot is computed by exactly one
+// chunk with the serial accumulation pattern, so the result is bit-identical
+// to MulVecT at any worker count.
+func (f *FastDict) ParMulVecT(x, y, t1, t2 []float64) []float64 {
+	if len(x) != f.Rows {
+		panic("faust: ParMulVecT dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, f.Cols)
+	}
+	if len(y) != f.Cols {
+		panic("faust: ParMulVecT output length mismatch")
+	}
+	k := len(f.Factors)
+	cur := x
+	for hop := 0; hop < k-1; hop++ {
+		s := f.Factors[hop]
+		dst := f.interBuf(hop, &t1, &t2)[:s.Cols]
+		parGather(s, cur, dst)
+		cur = dst
+	}
+	parGather(f.Factors[k-1], cur, y)
+	return y
+}
+
+// parScatter is one parallel y = S·x hop. Row-partitioning keeps every
+// y[i] owned by one chunk; within a chunk, columns are visited in the same
+// ascending order as the serial scatter, and a column contributes at most
+// one update per row (row indices are strictly increasing within a column),
+// so each y[i] accumulates the identical sequence of terms the serial
+// kernel produces.
+func parScatter(s *sparse.CSC, x, y []float64) {
+	w := mat.Workers
+	if w <= 1 || s.Rows < parallelThreshold || s.NNZ() < parallelThreshold {
+		s.MulVec(x, y)
+		return
+	}
+	mat.ParallelChunks(s.Rows, w, func(_, rlo, rhi int) {
+		mat.Zero(y[rlo:rhi])
+		for j := 0; j < s.Cols; j++ {
+			xj := x[j]
+			if xj == 0 {
+				continue // matches the serial kernel's skip
+			}
+			lo, hi := s.ColPtr[j], s.ColPtr[j+1]
+			p := lo + sort.SearchInts(s.RowIdx[lo:hi], rlo)
+			for ; p < hi && s.RowIdx[p] < rhi; p++ {
+				y[s.RowIdx[p]] += s.Val[p] * xj
+			}
+		}
+	})
+}
+
+// parGather is one parallel y = Sᵀ·x hop: output columns are partitioned
+// and each chunk runs the serial 4-accumulator gather dot for its columns.
+func parGather(s *sparse.CSC, x, y []float64) {
+	w := mat.Workers
+	if w <= 1 || s.Cols < parallelThreshold || s.NNZ() < parallelThreshold {
+		s.MulVecT(x, y)
+		return
+	}
+	mat.ParallelChunks(s.Cols, w, func(_, clo, chi int) {
+		for j := clo; j < chi; j++ {
+			var s0, s1, s2, s3 float64
+			p, hi := s.ColPtr[j], s.ColPtr[j+1]
+			for ; p+4 <= hi; p += 4 {
+				idx := s.RowIdx[p : p+4 : p+4]
+				v := s.Val[p : p+4 : p+4]
+				s0 += v[0] * x[idx[0]]
+				s1 += v[1] * x[idx[1]]
+				s2 += v[2] * x[idx[2]]
+				s3 += v[3] * x[idx[3]]
+			}
+			for ; p < hi; p++ {
+				s0 += s.Val[p] * x[s.RowIdx[p]]
+			}
+			y[j] = (s0 + s1) + (s2 + s3)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package faust
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"extdict/internal/sparse"
+)
+
+// Binary serialization of fitted fast dictionaries. Factorization is the
+// expensive one-time step the tuner amortizes over the reuse count, so a
+// deployment factors once and ships the chain. The format is little-endian:
+// a magic string, [rows, cols, k], then per factor [rows, cols, nnz]
+// followed by its ColPtr, RowIdx, and Val arrays.
+
+const fastDictMagic = "FAUSTD01"
+
+// ErrBadFastDictFile reports an unreadable or corrupt fast-dictionary file.
+var ErrBadFastDictFile = errors.New("faust: bad fastdict file")
+
+// maxDim bounds any dimension or nnz a reader will believe; combined with
+// the chunked array reads below it caps what a forged header can allocate.
+const maxDim = 1 << 28
+
+// readChunk is the array-read granularity: a forged nnz backed by a
+// truncated payload fails after at most one chunk of over-allocation.
+const readChunk = 1 << 16
+
+// WriteTo serializes the chain. It returns the byte count written.
+func (f *FastDict) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(fastDictMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(fastDictMagic))
+	if err := write([]int64{int64(f.Rows), int64(f.Cols), int64(len(f.Factors))}); err != nil {
+		return n, err
+	}
+	for _, s := range f.Factors {
+		if err := write([]int64{int64(s.Rows), int64(s.Cols), int64(s.NNZ())}); err != nil {
+			return n, err
+		}
+		for _, arr := range [][]int{s.ColPtr, s.RowIdx} {
+			buf := make([]int64, len(arr))
+			for i, v := range arr {
+				buf[i] = int64(v)
+			}
+			if err := write(buf); err != nil {
+				return n, err
+			}
+		}
+		if err := write(s.Val); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadFastDict deserializes a chain written by WriteTo, validating the CSC
+// invariants, inner-dimension agreement, and NaN-freedom before returning
+// it. Array allocation is chunked, so a forged header cannot make the
+// reader allocate more than one chunk past what the stream actually backs.
+func ReadFastDict(r io.Reader) (*FastDict, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fastDictMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFastDictFile, err)
+	}
+	if string(magic) != fastDictMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFastDictFile, magic)
+	}
+	hdr := make([]int64, 3)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFastDictFile, err)
+	}
+	rows, cols, k := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	if rows <= 0 || cols <= 0 || k <= 0 || rows > maxDim || cols > maxDim || k > 64 {
+		return nil, fmt.Errorf("%w: implausible header %v", ErrBadFastDictFile, hdr)
+	}
+	fd := &FastDict{Rows: rows, Cols: cols, Factors: make([]*sparse.CSC, k)}
+	for i := range fd.Factors {
+		fhdr := make([]int64, 3)
+		if err := binary.Read(br, binary.LittleEndian, fhdr); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFastDictFile, err)
+		}
+		fr, fc, nnz := int(fhdr[0]), int(fhdr[1]), int(fhdr[2])
+		if fr <= 0 || fc <= 0 || nnz < 0 || fr > maxDim || fc > maxDim || int64(nnz) > int64(fr)*int64(fc) {
+			return nil, fmt.Errorf("%w: implausible factor %d header %v", ErrBadFastDictFile, i, fhdr)
+		}
+		colPtr, err := readInts(br, fc+1)
+		if err != nil {
+			return nil, err
+		}
+		rowIdx, err := readInts(br, nnz)
+		if err != nil {
+			return nil, err
+		}
+		val, err := readFloats(br, nnz)
+		if err != nil {
+			return nil, err
+		}
+		fd.Factors[i] = &sparse.CSC{Rows: fr, Cols: fc, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+	}
+	if err := fd.Check(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFastDictFile, err)
+	}
+	return fd, nil
+}
+
+// readInts reads n little-endian int64 values in chunks.
+func readInts(br io.Reader, n int) ([]int, error) {
+	out := make([]int, 0, min(n, readChunk))
+	buf := make([]int64, min(n, readChunk))
+	for len(out) < n {
+		c := buf[:min(n-len(out), readChunk)]
+		if err := binary.Read(br, binary.LittleEndian, c); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFastDictFile, err)
+		}
+		for _, v := range c {
+			out = append(out, int(v))
+		}
+	}
+	return out, nil
+}
+
+// readFloats reads n little-endian float64 values in chunks, rejecting NaN.
+func readFloats(br io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, readChunk))
+	for len(out) < n {
+		c := make([]float64, min(n-len(out), readChunk))
+		if err := binary.Read(br, binary.LittleEndian, c); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFastDictFile, err)
+		}
+		for _, v := range c {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("%w: NaN payload", ErrBadFastDictFile)
+			}
+		}
+		out = append(out, c...)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package faust
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"extdict/internal/rng"
+)
+
+// TestSerializeRoundTrip checks a fitted chain survives write/read bit for
+// bit, including shape and structure.
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rng.New(21)
+	fd := randomChain(r, 33, 17, 4)
+	var buf bytes.Buffer
+	n, err := fd.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFastDict(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameChain(t, fd, got)
+}
+
+func requireSameChain(t *testing.T, a, b *FastDict) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols || len(a.Factors) != len(b.Factors) {
+		t.Fatalf("round-trip changed shape: %dx%d/%d -> %dx%d/%d",
+			a.Rows, a.Cols, len(a.Factors), b.Rows, b.Cols, len(b.Factors))
+	}
+	for i := range a.Factors {
+		af, bf := a.Factors[i], b.Factors[i]
+		if af.Rows != bf.Rows || af.Cols != bf.Cols || af.NNZ() != bf.NNZ() {
+			t.Fatalf("factor %d changed shape", i)
+		}
+		for p := range af.ColPtr {
+			if af.ColPtr[p] != bf.ColPtr[p] {
+				t.Fatalf("factor %d ColPtr[%d] changed", i, p)
+			}
+		}
+		for p := range af.Val {
+			if af.RowIdx[p] != bf.RowIdx[p] || math.Float64bits(af.Val[p]) != math.Float64bits(bf.Val[p]) {
+				t.Fatalf("factor %d entry %d changed", i, p)
+			}
+		}
+	}
+}
+
+// fdFile hand-assembles a fastdict stream so seeds can be malformed in ways
+// WriteTo never produces.
+func fdFile(magic string, hdr []int64, rest ...any) []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	if err := binary.Write(&b, binary.LittleEndian, hdr); err != nil {
+		panic(err)
+	}
+	for _, v := range rest {
+		if err := binary.Write(&b, binary.LittleEndian, v); err != nil {
+			panic(err)
+		}
+	}
+	return b.Bytes()
+}
+
+// TestReadRejectsForgedHeaders covers the hardening paths directly: bad
+// magic, implausible dims, nnz above capacity, truncation, and NaN.
+func TestReadRejectsForgedHeaders(t *testing.T) {
+	cases := map[string][]byte{
+		"bad magic":        fdFile("NOTFAUST", []int64{1, 1, 1}),
+		"zero factors":     fdFile(fastDictMagic, []int64{2, 2, 0}),
+		"huge dims":        fdFile(fastDictMagic, []int64{1 << 40, 2, 1}),
+		"huge depth":       fdFile(fastDictMagic, []int64{2, 2, 1 << 20}),
+		"nnz over cap":     fdFile(fastDictMagic, []int64{2, 2, 1}, []int64{2, 2, 5}),
+		"truncated":        fdFile(fastDictMagic, []int64{2, 2, 1}, []int64{2, 2, 1}),
+		"truncated header": []byte(fastDictMagic),
+		"empty":            nil,
+		"nan payload": fdFile(fastDictMagic, []int64{1, 1, 1},
+			[]int64{1, 1, 1}, []int64{0, 1}, []int64{0}, math.NaN()),
+		"inner mismatch": fdFile(fastDictMagic, []int64{1, 1, 2},
+			[]int64{1, 2, 0}, []int64{0, 0, 0}, []int64{1, 1, 0}, []int64{0}),
+	}
+	for name, data := range cases {
+		if _, err := ReadFastDict(bytes.NewReader(data)); !errors.Is(err, ErrBadFastDictFile) {
+			t.Errorf("%s: err = %v, want ErrBadFastDictFile", name, err)
+		}
+	}
+}
+
+// FuzzReadFastDict asserts the reader's crash-safety contract: arbitrary
+// bytes either parse or error — never panic — NaN payloads always error,
+// and anything accepted survives a write/read round-trip bit for bit.
+func FuzzReadFastDict(f *testing.F) {
+	r := rng.New(31)
+	var valid bytes.Buffer
+	if _, err := randomChain(r, 5, 3, 2).WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(fdFile(fastDictMagic, []int64{1, 1, 1}, []int64{1, 1, 1}, []int64{0, 1}, []int64{0}, 2.5))
+	f.Add(fdFile(fastDictMagic, []int64{1, 1, 1}, []int64{1, 1, 1}, []int64{0, 1}, []int64{0}, math.NaN()))
+	f.Add(fdFile("NOTFAUST", []int64{1, 1, 1}))
+	f.Add(fdFile(fastDictMagic, []int64{-1, 1, 1}))
+	f.Add(fdFile(fastDictMagic, []int64{1 << 40, 1 << 40, 1}))
+	f.Add(fdFile(fastDictMagic, []int64{2, 2, 1}, []int64{2, 2, 4}))
+	f.Add([]byte(fastDictMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fd, err := ReadFastDict(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, s := range fd.Factors {
+			for _, v := range s.Val {
+				if math.IsNaN(v) {
+					t.Fatal("reader accepted a NaN payload")
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := fd.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encoding accepted chain: %v", err)
+		}
+		fd2, err := ReadFastDict(&buf)
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		requireSameChain(t, fd, fd2)
+	})
+}

@@ -362,8 +362,10 @@ func underlyingStruct(t types.Type) (*types.Struct, bool) {
 }
 
 // kernelDst recognizes the matrix-vector kernels' destination-return
-// contract — MulVec/MulVecT/ParMulVec/ParMulVecT(x, dst) return dst — and
-// yields the destination expression.
+// contract — MulVec/MulVecT/ParMulVec/ParMulVecT(x, dst, ...) return dst —
+// and yields the destination expression. The destination is always the
+// second argument; the FastDict chain kernels take two trailing temp
+// buffers after it, which must not be mistaken for the result.
 func kernelDst(call *ast.CallExpr) (ast.Expr, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -372,7 +374,7 @@ func kernelDst(call *ast.CallExpr) (ast.Expr, bool) {
 	switch sel.Sel.Name {
 	case "MulVec", "MulVecT", "ParMulVec", "ParMulVecT":
 		if len(call.Args) >= 2 {
-			return call.Args[len(call.Args)-1], true
+			return call.Args[1], true
 		}
 	}
 	return nil, false

@@ -1,0 +1,116 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/dataset"
+	"extdict/internal/dist"
+	"extdict/internal/exd"
+	"extdict/internal/faust"
+	"extdict/internal/rng"
+)
+
+// chainTermsOf extracts the fitted chain's invariants for the predictor —
+// the exact values FastGram's constructor records for its claims.
+func chainTermsOf(fd *faust.FastDict) ChainTerms {
+	return ChainTerms{
+		NNZ:           fd.NNZ(),
+		VecWords:      fd.VecWords(),
+		ResidentWords: fd.ResidentWords(),
+		InterDim:      int64(fd.MaxInterDim()),
+	}
+}
+
+func TestPredictFastDictCommunicationBound(t *testing.T) {
+	// The chain changes arithmetic only: communicated words stay at the
+	// ExD schedule's 2·min(M, L) in both cases.
+	plat := cluster.NewPlatform(2, 4)
+	chain := ChainTerms{NNZ: 1000, VecWords: 500, ResidentWords: 2200, InterDim: 40}
+	if e := PredictFastDict(100, 1000, 40, 5000, chain, plat); e.PathWords != 80 {
+		t.Fatalf("Case 1 words %v, want 80", e.PathWords)
+	}
+	if e := PredictFastDict(100, 1000, 300, 5000, chain, plat); e.PathWords != 200 {
+		t.Fatalf("Case 2 words %v, want 200", e.PathWords)
+	}
+}
+
+func TestPredictFastDictMatchesSimulator(t *testing.T) {
+	// Eq. 2 extended with factor-chain terms must track the simulator the
+	// way PredictTransformed does: words and total flops exactly, time to
+	// within the nnz partition's load-imbalance slack.
+	u, err := dataset.GenerateUnion(
+		dataset.UnionParams{M: 48, N: 400, Ks: []int{4, 5}}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{30, 120} { // Case 1 and Case 2
+		tr, err := exd.Fit(u.A, exd.Params{L: l, Epsilon: 0.05, Seed: 2, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := faust.Factorize(tr.D, faust.Options{Factors: 3, Budget: 12 * l, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, plat := range cluster.PaperPlatforms()[:3] {
+			g, err := dist.NewFastGram(cluster.NewComm(plat), fd, tr.C)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, 400)
+			for i := range x {
+				x[i] = 1
+			}
+			y := make([]float64, 400)
+			st := g.Apply(x, y)
+			pred := PredictFastDict(48, 400, l, tr.C.NNZ(), chainTermsOf(fd), plat)
+
+			if pred.PathWords != float64(st.PathWords) {
+				t.Fatalf("L=%d %s: predicted words %v, simulated %d",
+					l, plat.Topology, pred.PathWords, st.PathWords)
+			}
+			if math.Abs(pred.FlopsTotal-float64(st.TotalFlops))/pred.FlopsTotal > 1e-9 {
+				t.Fatalf("L=%d %s: predicted flops %v, simulated %d",
+					l, plat.Topology, pred.FlopsTotal, st.TotalFlops)
+			}
+			rel := math.Abs(pred.Time-st.ModeledTime) / st.ModeledTime
+			if rel > 0.25 {
+				t.Fatalf("L=%d %s: predicted %v, simulated %v (rel %v)",
+					l, plat.Topology, pred.Time, st.ModeledTime, rel)
+			}
+		}
+	}
+}
+
+func TestFastDictBeatsTransformedWhenCompressed(t *testing.T) {
+	// The operator family's reason to exist: with Σnnz(S_i) ≪ M·L the chain
+	// iteration must be predicted cheaper than the dense-dictionary one in
+	// both time and per-rank memory, at identical communication.
+	plat := cluster.NewPlatform(8, 8)
+	const m, n, l, nnz = 512, 100000, 256, 500000
+	chain := planChainTerms(faust.NewPlan(m, l, 0, 0))
+	fast := PredictFastDict(m, n, l, nnz, chain, plat)
+	exdE := PredictTransformed(m, n, l, nnz, plat)
+	if fast.Time >= exdE.Time {
+		t.Fatalf("fastdict %v not cheaper than exd %v", fast.Time, exdE.Time)
+	}
+	if fast.MemoryWordsPerRank >= exdE.MemoryWordsPerRank {
+		t.Fatal("fastdict memory not lower")
+	}
+	if fast.PathWords != exdE.PathWords {
+		t.Fatal("communication changed; the chain must preserve the schedule")
+	}
+}
+
+// planChainTerms mirrors tune.ChainTermsOf for perf-local tests without
+// importing the tuner.
+func planChainTerms(p faust.Plan) ChainTerms {
+	return ChainTerms{
+		NNZ:           p.NNZ(),
+		VecWords:      p.VecWords(),
+		ResidentWords: p.ResidentWords(),
+		InterDim:      int64(p.InterDim()),
+	}
+}

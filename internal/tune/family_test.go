@@ -1,0 +1,91 @@
+package tune
+
+import (
+	"testing"
+
+	"extdict/internal/cluster"
+	"extdict/internal/faust"
+	"extdict/internal/perf"
+)
+
+// TestChooseFamilyFollowsModeledCost pins the decision rule to the model:
+// the winner must be exactly the argmin of the per-iteration predictions
+// plus the amortized factorization term, recomputed here by hand from the
+// perf package — no heuristic slack.
+func TestChooseFamilyFollowsModeledCost(t *testing.T) {
+	const m, n, l, nnz = 512, 16384, 128, 524288
+	plat := cluster.NewPlatform(1, 4)
+
+	for _, reuse := range []int{1, 10, 1000, 100000, 10000000} {
+		cfg := FamilyConfig{Reuse: reuse}
+		got := ChooseFamily(m, n, l, nnz, plat, cfg)
+
+		plan := faust.NewPlan(m, l, 0, 0)
+		prep := float64(plan.FactorizeFlops(0, 0)) * plat.Cost.FlopTime / float64(reuse)
+		want := "raw"
+		best := perf.PredictDense(m, n, plat).Time
+		if c := perf.PredictTransformed(m, n, l, nnz, plat).Time; c < best {
+			want, best = "exd", c
+		}
+		if c := perf.PredictFastDict(m, n, l, nnz, ChainTermsOf(plan), plat).Time + prep; c < best {
+			want = "fastdict"
+		}
+		if got.Family != want {
+			t.Fatalf("reuse=%d: chose %q, model argmin is %q (costs %+v)", reuse, got.Family, want, got.Costs)
+		}
+	}
+}
+
+// TestChooseFamilyAmortizationFlipsDecision pins the tentpole trade-off:
+// at this shape the chain iteration is cheaper than the dense-dictionary
+// one, but the one-time PALM factorization is ~10⁴ iterations of that
+// saving — so a single-use operator must stay ExD and a long-lived one
+// must switch to FastDict, with the flip exactly at the modeled
+// break-even reuse count.
+func TestChooseFamilyAmortizationFlipsDecision(t *testing.T) {
+	const m, n, l, nnz = 512, 16384, 128, 524288
+	plat := cluster.NewPlatform(1, 4)
+
+	short := ChooseFamily(m, n, l, nnz, plat, FamilyConfig{Reuse: 1})
+	if short.Family != "exd" {
+		t.Fatalf("reuse=1 chose %q, want exd (factorization cannot amortize)", short.Family)
+	}
+	long := ChooseFamily(m, n, l, nnz, plat, FamilyConfig{Reuse: 10000000})
+	if long.Family != "fastdict" {
+		t.Fatalf("reuse=10M chose %q, want fastdict", long.Family)
+	}
+
+	// Break-even: prep/reuse < perIterSaving exactly when reuse exceeds
+	// prepFlops-to-saving ratio; check the flip lands on the modeled edge.
+	plan := faust.NewPlan(m, l, 0, 0)
+	exdCost := perf.PredictTransformed(m, n, l, nnz, plat).Time
+	fastIter := perf.PredictFastDict(m, n, l, nnz, ChainTermsOf(plan), plat).Time
+	saving := exdCost - fastIter
+	if saving <= 0 {
+		t.Fatalf("chain iteration %v not cheaper than exd %v at this shape", fastIter, exdCost)
+	}
+	prep := float64(plan.FactorizeFlops(0, 0)) * plat.Cost.FlopTime
+	breakEven := int(prep/saving) + 1
+	at := ChooseFamily(m, n, l, nnz, plat, FamilyConfig{Reuse: breakEven})
+	below := ChooseFamily(m, n, l, nnz, plat, FamilyConfig{Reuse: breakEven / 2})
+	if at.Family != "fastdict" || below.Family == "fastdict" {
+		t.Fatalf("flip off the modeled break-even %d: at=%q below=%q", breakEven, at.Family, below.Family)
+	}
+}
+
+// TestChooseFamilyMemoryObjective pins the Eq. 4 side: under the memory
+// objective the factorization (transient workspace) carries no amortized
+// term, and the chain's resident footprint wins at any reuse count.
+func TestChooseFamilyMemoryObjective(t *testing.T) {
+	const m, n, l, nnz = 512, 16384, 128, 524288
+	plat := cluster.NewPlatform(1, 4)
+	got := ChooseFamily(m, n, l, nnz, plat, FamilyConfig{Objective: perf.Memory, Reuse: 1})
+	if got.Family != "fastdict" {
+		t.Fatalf("memory objective chose %q, want fastdict", got.Family)
+	}
+	for _, c := range got.Costs {
+		if c.PrepPerIter != 0 {
+			t.Fatalf("memory objective charged prep %v to %s", c.PrepPerIter, c.Family)
+		}
+	}
+}
